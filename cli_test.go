@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools builds the five binaries once and drives the
+// generate → parse → analyze workflow through their real command lines,
+// the way the README's quick start does.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in -short mode")
+	}
+	binDir := t.TempDir()
+	build := func(name string) string {
+		t.Helper()
+		out := filepath.Join(binDir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	wmgen := build("wmgen")
+	wmparse := build("wmparse")
+	wmanalyze := build("wmanalyze")
+	wmdiff := build("wmdiff")
+
+	data := t.TempDir()
+
+	// Generate two hours of the Asia Pacific map (the smallest) plus the
+	// World map, with faults enabled.
+	out, err := exec.Command(wmgen,
+		"-out", data,
+		"-start", "2020-07-01T00:00:00Z",
+		"-end", "2020-07-01T02:00:00Z",
+		"-maps", "asia-pacific,world",
+		"-faults", "-quiet",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("wmgen: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "wrote 50 snapshots") { // 25 steps x 2 maps
+		t.Errorf("wmgen output: %s", out)
+	}
+
+	// Parse them; healthy files must process, the report prints per map.
+	out, err = exec.Command(wmparse,
+		"-data", data,
+		"-maps", "asia-pacific,world",
+		"-quiet",
+	).CombinedOutput()
+	// wmparse exits 1 when any file fails; with -faults that is possible
+	// but not guaranteed on a 2-hour window, so accept both.
+	if err != nil && !strings.Contains(string(out), "failures)") {
+		t.Fatalf("wmparse: %v\n%s", err, out)
+	}
+	for _, want := range []string{"asia-pacific:", "world:", "processed"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("wmparse output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Analyze the dataset: Table 2 and coverage must reflect the campaign.
+	out, err = exec.Command(wmanalyze,
+		"-data", data,
+		"-map", "asia-pacific",
+		"-figures", "2,3",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("wmanalyze: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Table 2", "Asia Pacific", "Figure 2", "Figure 3"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("wmanalyze output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Diff two processed snapshots: identical topology five minutes apart.
+	yamls, err := filepath.Glob(filepath.Join(data, "asia-pacific", "*", "*", "*", "*.yaml"))
+	if err != nil || len(yamls) < 2 {
+		t.Fatalf("processed yamls: %v (%d)", err, len(yamls))
+	}
+	out, err = exec.Command(wmdiff, yamls[0], yamls[1]).CombinedOutput()
+	if err != nil {
+		t.Fatalf("wmdiff on same-topology snapshots: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "topology unchanged") {
+		t.Errorf("wmdiff output: %s", out)
+	}
+
+	// Bad flags must fail cleanly.
+	if out, err := exec.Command(wmgen, "-out", data, "-start", "bogus").CombinedOutput(); err == nil {
+		t.Errorf("wmgen with bad -start should fail:\n%s", out)
+	}
+	if out, err := exec.Command(wmanalyze).CombinedOutput(); err == nil {
+		t.Errorf("wmanalyze without -data/-sim should fail:\n%s", out)
+	}
+}

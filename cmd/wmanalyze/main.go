@@ -1,0 +1,255 @@
+// Command wmanalyze regenerates every table and figure of the paper from a
+// processed dataset (or, with -sim, directly from the simulator when no
+// dataset has been generated yet):
+//
+//	Table 1  — per-map router and link counts with the dedup total
+//	Table 2  — file counts and sizes, SVG vs YAML
+//	Figure 2 — collection time frames per map
+//	Figure 3 — inter-snapshot interval distribution
+//	Figure 4 — infrastructure evolution and degree CCDF
+//	Figure 5 — load distributions and ECMP imbalance
+//	Figure 6 — the AMS-IX link-upgrade case study
+//
+// Usage:
+//
+//	wmanalyze -data DIR [-map europe] [-figures all|1,2,4c,...]
+//	wmanalyze -sim [-map europe]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"ovhweather/internal/analysis"
+	"ovhweather/internal/dataset"
+	"ovhweather/internal/netsim"
+	"ovhweather/internal/peeringdb"
+	"ovhweather/internal/status"
+	"ovhweather/internal/wmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wmanalyze: ")
+
+	var (
+		dir     = flag.String("data", "", "processed dataset directory")
+		useSim  = flag.Bool("sim", false, "analyze the simulator directly instead of a dataset")
+		mapStr  = flag.String("map", "europe", "map analyzed in Figures 4-6")
+		figures = flag.String("figures", "all", "comma-separated subset: 1,2,3,4,5,6 or all")
+		simStep = flag.Duration("sim-step", 6*time.Hour, "sampling step in -sim mode")
+	)
+	flag.Parse()
+	if *dir == "" && !*useSim {
+		flag.Usage()
+		log.Fatal("need -data or -sim")
+	}
+	id, err := wmap.ParseMapID(*mapStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figures, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	sel := func(f string) bool { return want["all"] || want[f] }
+	out := os.Stdout
+
+	var store *dataset.Store
+	if *dir != "" {
+		if store, err = dataset.Open(*dir); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sc := netsim.DefaultScenario()
+	var sim *netsim.Simulator
+	if *useSim {
+		if sim, err = netsim.New(sc); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// stream yields the analyzed map's snapshots between from and to.
+	stream := func(from, to time.Time, step time.Duration) analysis.Stream {
+		if sim != nil {
+			return func(yield func(*wmap.Map) error) error {
+				// Each stream replays its own simulator so out-of-order
+				// sections stay independent.
+				s, err := netsim.New(sc)
+				if err != nil {
+					return err
+				}
+				for at := from; !at.After(to); at = at.Add(step) {
+					m, err := s.MapAt(id, at)
+					if err != nil {
+						return err
+					}
+					if err := yield(m); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+		return func(yield func(*wmap.Map) error) error {
+			return store.WalkMaps(id, func(m *wmap.Map) error {
+				if m.Time.Before(from) || m.Time.After(to) {
+					return nil
+				}
+				return yield(m)
+			})
+		}
+	}
+
+	if sel("1") {
+		analysis.Banner(out, "Table 1 — network size per map ("+sc.End.Format("2006-01-02")+")")
+		maps, err := snapshotAll(sim, store, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, total := analysis.Table1(maps)
+		if err := analysis.WriteTable1(out, rows, total); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if sel("2") && store != nil {
+		analysis.Banner(out, "Table 2 — collected and processed files")
+		sum, err := store.Summarize()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := analysis.WriteTable2(out, sum); err != nil {
+			log.Fatal(err)
+		}
+		analysis.Banner(out, "Figures 2 and 3 — collection quality")
+		for _, mid := range wmap.AllMaps() {
+			cov, err := store.CoverageOf(mid, dataset.ExtSVG)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if sel("2") {
+				analysis.WriteCoverage(out, cov)
+			}
+			dist, err := store.IntervalsOf(mid, dataset.ExtSVG)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if sel("3") || sel("2") {
+				analysis.WriteIntervals(out, dist)
+			}
+		}
+	}
+	if sel("4") {
+		analysis.Banner(out, "Figure 4 — infrastructure evolution ("+id.Title()+")")
+		infra, err := analysis.Infrastructure(stream(sc.Start, sc.End, 7*24*time.Hour))
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysis.WriteInfraSeries(out, infra, 60*24*time.Hour)
+		var last *wmap.Map
+		if err := stream(sc.End, sc.End, time.Hour)(func(m *wmap.Map) error { last = m; return nil }); err != nil {
+			log.Fatal(err)
+		}
+		if last != nil {
+			deg, err := analysis.DegreeCCDF(last)
+			if err != nil {
+				log.Fatal(err)
+			}
+			analysis.WriteDegreeCCDF(out, deg)
+		}
+		feed := status.FromScenario(sc)
+		corr := analysis.CorrelateMaintenance(infra, feed, 3, 8*24*time.Hour)
+		analysis.WriteMaintenance(out, corr)
+		growth, err := analysis.SiteGrowthStudy(stream(sc.Start, sc.End, 60*24*time.Hour))
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysis.WriteSiteGrowth(out, growth, 10)
+	}
+	if sel("5") {
+		analysis.Banner(out, "Figure 5 — links loads ("+id.Title()+")")
+		from := sc.Start.AddDate(0, 6, 0)
+		to := from.AddDate(0, 0, 7)
+		step := *simStep
+		if step > time.Hour {
+			step = time.Hour
+		}
+		hourly, err := analysis.HourlyLoads(stream(from, to, step))
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysis.WriteHourlyLoads(out, hourly)
+		loads, err := analysis.LoadCDF(stream(from, to, *simStep))
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysis.WriteLoadCDF(out, loads)
+		imb, err := analysis.ImbalanceCDF(stream(from, to, *simStep), wmap.PaperImbalanceOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysis.WriteImbalance(out, imb)
+		cong, err := analysis.CongestionStudy(stream(from, to, *simStep), analysis.DefaultCongestionOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysis.WriteCongestion(out, cong)
+		weekly, err := analysis.WeeklyLoads(stream(from, from.AddDate(0, 0, 14), *simStep))
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysis.WriteWeekly(out, weekly)
+	}
+	if sel("6") {
+		analysis.Banner(out, "Figure 6 — link upgrade study ("+sc.Upgrade.Peering+")")
+		db := peeringdb.New()
+		db.Announce(peeringdb.Record{
+			Peering: sc.Upgrade.Peering, Network: "OVH",
+			Gbps: sc.Upgrade.GbpsBefore, Updated: sc.Start,
+		})
+		db.Announce(peeringdb.Record{
+			Peering: sc.Upgrade.Peering, Network: "OVH",
+			Gbps: sc.Upgrade.GbpsAfter, Updated: sc.Upgrade.DBUpdated,
+			Comment: "new 100G link",
+		})
+		from := sc.Upgrade.Added.AddDate(0, 0, -10)
+		to := sc.Upgrade.Activated.AddDate(0, 0, 10)
+		v, err := analysis.UpgradeStudy(stream(from, to, 2*time.Hour), sc.Upgrade.Peering, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysis.WriteUpgrade(out, v)
+	}
+	fmt.Fprintln(out)
+}
+
+// snapshotAll fetches all four maps at the scenario end, from the simulator
+// or the dataset.
+func snapshotAll(sim *netsim.Simulator, store *dataset.Store, sc netsim.Scenario) ([]*wmap.Map, error) {
+	if sim != nil {
+		return sim.SnapshotAt(sc.End)
+	}
+	var out []*wmap.Map
+	for _, id := range wmap.AllMaps() {
+		entries, err := store.Index(id, dataset.ExtYAML)
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		m, err := store.LoadMap(id, entries[len(entries)-1].Time)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no processed snapshots found; run wmparse first")
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+// Command wmcollect polls a weather-map website every interval and archives
+// the SVG snapshots into a dataset directory, the role of the paper's
+// two-year crawler.
+//
+// Usage:
+//
+//	wmcollect -url http://localhost:8080 -out DIR [-interval 1s]
+//	          [-count N] [-maps europe,...] [-plan]
+//
+// Snapshots are stamped with the collector's wall-clock time unless the
+// server's virtual time is desired; pair it with wmserve and match
+// -interval to wmserve's -tick to collect one snapshot per virtual step.
+package main
+
+import (
+	"flag"
+	"log"
+	"strings"
+	"time"
+
+	"ovhweather/internal/collect"
+	"ovhweather/internal/dataset"
+	"ovhweather/internal/wmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wmcollect: ")
+
+	var (
+		url      = flag.String("url", "http://localhost:8080", "weather-map base URL")
+		out      = flag.String("out", "", "dataset output directory (required)")
+		interval = flag.Duration("interval", time.Second, "polling interval")
+		count    = flag.Int("count", 0, "number of polls (0 = run forever)")
+		mapsStr  = flag.String("maps", "europe,world,north-america,asia-pacific", "maps to collect")
+		usePlan  = flag.Bool("plan", false, "apply the paper's outage plan")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		log.Fatal("missing -out")
+	}
+	var ids []wmap.MapID
+	for _, s := range strings.Split(*mapsStr, ",") {
+		id, err := wmap.ParseMapID(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	store, err := dataset.Open(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := collect.Plan{}
+	if *usePlan {
+		plan = collect.DefaultPlan()
+	}
+	col := &collect.Collector{
+		BaseURL: *url,
+		Store:   store,
+		Plan:    plan,
+		Maps:    ids,
+		Retries: 2,
+	}
+
+	var total collect.Stats
+	for i := 0; *count == 0 || i < *count; i++ {
+		at := time.Now().UTC().Truncate(time.Minute)
+		st, err := col.CollectAt(at)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total.Fetched += st.Fetched
+		total.Skipped += st.Skipped
+		total.Failed += st.Failed
+		if st.Failed > 0 {
+			log.Printf("%s: %d fetch failure(s)", at.Format(time.RFC3339), st.Failed)
+		}
+		if *count == 0 || i < *count-1 {
+			time.Sleep(*interval)
+		}
+	}
+	log.Printf("collected %d snapshots (%d skipped, %d failed) into %s",
+		total.Fetched, total.Skipped, total.Failed, *out)
+}

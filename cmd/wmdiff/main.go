@@ -1,0 +1,79 @@
+// Command wmdiff compares two processed YAML snapshots and prints the
+// topology changes between them: routers and peerings that appeared or
+// vanished, link-count deltas per endpoint pair, and how many link loads
+// moved. It is the inspection tool behind the evolution analysis — point it
+// at two files straddling a Figure 4a step to see exactly which routers were
+// involved.
+//
+// Usage:
+//
+//	wmdiff OLD.yaml NEW.yaml
+//
+// Exit status is 0 when the topologies are identical, 1 when they differ,
+// 2 on usage or file errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ovhweather/internal/extract"
+	"ovhweather/internal/wmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wmdiff: ")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: wmdiff OLD.yaml NEW.yaml")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	old := load(flag.Arg(0))
+	new := load(flag.Arg(1))
+	if old.ID != new.ID {
+		log.Printf("warning: comparing different maps (%s vs %s)", old.ID, new.ID)
+	}
+
+	d := wmap.Compare(old, new)
+	fmt.Printf("%s: %s -> %s\n", old.ID, old.Time.Format("2006-01-02 15:04"), new.Time.Format("2006-01-02 15:04"))
+	if d.Empty() {
+		fmt.Printf("topology unchanged (%d load change(s))\n", d.LoadChanges)
+		return
+	}
+	for _, n := range d.NodesAdded {
+		fmt.Printf("+ node %s (%s)\n", n.Name, n.Kind)
+	}
+	for _, n := range d.NodesRemoved {
+		fmt.Printf("- node %s (%s)\n", n.Name, n.Kind)
+	}
+	for _, l := range d.LinksAdded {
+		fmt.Printf("+ %d link(s) %s %s <-> %s %s\n", l.Count, l.A, l.LabelA, l.LabelB, l.B)
+	}
+	for _, l := range d.LinksRemoved {
+		fmt.Printf("- %d link(s) %s %s <-> %s %s\n", l.Count, l.A, l.LabelA, l.LabelB, l.B)
+	}
+	fmt.Printf("%d load change(s) among persisting links\n", d.LoadChanges)
+	os.Exit(1)
+}
+
+func load(path string) *wmap.Map {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	m, err := extract.UnmarshalYAML(data)
+	if err != nil {
+		log.Printf("%s: %v", path, err)
+		os.Exit(2)
+	}
+	return m
+}

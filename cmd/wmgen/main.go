@@ -1,0 +1,146 @@
+// Command wmgen generates a synthetic OVH Weather dataset: it runs the
+// backbone simulator over a time range and writes one SVG snapshot per map
+// per step into a dataset directory, optionally injecting the malformed
+// files the paper reports and honouring the collection outage plan.
+//
+// Usage:
+//
+//	wmgen -out DIR [-start RFC3339] [-end RFC3339] [-step 5m]
+//	      [-maps europe,world] [-faults] [-plan]
+//
+// Generating the full two-year range at five-minute resolution produces
+// hundreds of thousands of files; the defaults cover a week so a first run
+// finishes quickly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"ovhweather/internal/collect"
+	"ovhweather/internal/dataset"
+	"ovhweather/internal/netsim"
+	"ovhweather/internal/render"
+	"ovhweather/internal/wmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wmgen: ")
+
+	var (
+		out      = flag.String("out", "", "dataset output directory (required)")
+		startStr = flag.String("start", "2020-07-01T00:00:00Z", "range start (RFC3339)")
+		endStr   = flag.String("end", "2020-07-08T00:00:00Z", "range end (RFC3339)")
+		step     = flag.Duration("step", 5*time.Minute, "snapshot interval")
+		mapsStr  = flag.String("maps", "europe,world,north-america,asia-pacific", "comma-separated maps")
+		faults   = flag.Bool("faults", false, "inject a small population of malformed files")
+		usePlan  = flag.Bool("plan", false, "apply the paper's collection outage plan (Figure 2 gaps)")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	start, err := time.Parse(time.RFC3339, *startStr)
+	if err != nil {
+		log.Fatalf("bad -start: %v", err)
+	}
+	end, err := time.Parse(time.RFC3339, *endStr)
+	if err != nil {
+		log.Fatalf("bad -end: %v", err)
+	}
+	var ids []wmap.MapID
+	for _, s := range strings.Split(*mapsStr, ",") {
+		id, err := wmap.ParseMapID(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	store, err := dataset.Open(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := netsim.New(netsim.DefaultScenario())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := render.NewSceneCache(render.Options{})
+	plan := collect.Plan{}
+	if *usePlan {
+		plan = collect.DefaultPlan()
+	}
+
+	written, skipped, faulty := 0, 0, 0
+	steps := int(end.Sub(start)/(*step)) + 1
+	var sb strings.Builder
+	for i, t := 0, start; !t.After(end); i, t = i+1, t.Add(*step) {
+		for _, id := range ids {
+			if *usePlan && !plan.ShouldCollect(id, t) {
+				skipped++
+				continue
+			}
+			m, err := sim.MapAt(id, t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sb.Reset()
+			kind := render.FaultNone
+			if *faults {
+				kind = faultFor(id, t)
+			}
+			if kind == render.FaultNone {
+				err = cache.WriteSVGCached(&sb, m)
+			} else {
+				faulty++
+				var scn *render.Scene
+				scn, err = cache.Scene(m)
+				if err == nil {
+					err = render.WriteFaultySVG(&sb, scn, m, kind)
+				}
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := store.WriteSnapshot(id, t, dataset.ExtSVG, []byte(sb.String())); err != nil {
+				log.Fatal(err)
+			}
+			written++
+		}
+		if !*quiet && i%2000 == 0 {
+			fmt.Fprintf(os.Stderr, "\r%6.1f%% (%d files)", 100*float64(i)/float64(steps), written)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	log.Printf("wrote %d snapshots (%d skipped by plan, %d deliberately faulty) to %s",
+		written, skipped, faulty, *out)
+}
+
+// faultFor reproduces the paper's tiny unprocessable-file population: fewer
+// than one file in a thousand, split across the observed failure modes.
+func faultFor(id wmap.MapID, t time.Time) render.FaultKind {
+	h := uint64(t.Unix()) * 0x9e3779b97f4a7c15
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	switch {
+	case h%1997 == 0:
+		return render.FaultMalformedAttribute
+	case h%2039 == 1:
+		return render.FaultMissingRouters
+	case h%2053 == 2:
+		return render.FaultTruncated
+	default:
+		return render.FaultNone
+	}
+}

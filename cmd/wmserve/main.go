@@ -1,0 +1,68 @@
+// Command wmserve runs the synthetic OVH Network Weathermap website: an
+// HTTP server exposing the current SVG image of each backbone map, updated
+// every tick of a virtual clock that compresses simulated time.
+//
+// Usage:
+//
+//	wmserve [-addr :8080] [-start RFC3339] [-step 5m] [-tick 1s]
+//
+// Every -tick of wall-clock time advances the simulation by -step, exactly
+// like the real site's five-minute refresh, so a collector pointed at
+// http://ADDR/map/europe.svg observes the same update pattern the paper's
+// crawler did.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"ovhweather/internal/collect"
+	"ovhweather/internal/netsim"
+	"ovhweather/internal/status"
+	"ovhweather/internal/wmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wmserve: ")
+
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		startStr = flag.String("start", "2020-07-01T00:00:00Z", "virtual start time (RFC3339)")
+		step     = flag.Duration("step", 5*time.Minute, "virtual time per tick")
+		tick     = flag.Duration("tick", time.Second, "wall-clock tick interval")
+	)
+	flag.Parse()
+	start, err := time.Parse(time.RFC3339, *startStr)
+	if err != nil {
+		log.Fatalf("bad -start: %v", err)
+	}
+
+	sim, err := netsim.New(netsim.DefaultScenario())
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := collect.NewServer(sim, wmap.AllMaps())
+	srv.SetStatusFeed(status.FromScenario(sim.Scenario()))
+	if err := srv.SetTime(start); err != nil {
+		log.Fatal(err)
+	}
+
+	go func() {
+		t := start
+		for range time.Tick(*tick) {
+			t = t.Add(*step)
+			if err := srv.SetTime(t); err != nil {
+				log.Printf("tick %s: %v", t, err)
+			}
+		}
+	}()
+
+	log.Printf("serving weather map on %s (virtual time from %s, %s per %s)",
+		*addr, start.Format(time.RFC3339), *step, *tick)
+	log.Printf("try: curl http://localhost%s/map/europe.svg", *addr)
+	log.Printf("     curl http://localhost%s/status.json", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

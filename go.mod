@@ -1,0 +1,3 @@
+module ovhweather
+
+go 1.22

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ovhweather/internal/wmap"
+)
+
+// Congestion analysis: the paper observes that "congestion inside the
+// network happens occasionally" (Figure 5b's thin tail above 60 %) and its
+// Discussion points at persistent interdomain congestion inference as the
+// natural follow-up. This view finds the links that run hot repeatedly, not
+// just in one snapshot.
+
+// CongestionOptions tunes the detector.
+type CongestionOptions struct {
+	// Threshold is the load (%) above which a direction counts as congested
+	// in one snapshot.
+	Threshold wmap.Load
+	// PersistFraction is the minimum fraction of observed snapshots a link
+	// direction must exceed the threshold in to be reported as persistently
+	// congested.
+	PersistFraction float64
+}
+
+// DefaultCongestionOptions flags directions above 60 % (the paper's "very
+// few loads exceed 60 %") in at least a quarter of their snapshots.
+func DefaultCongestionOptions() CongestionOptions {
+	return CongestionOptions{Threshold: 60, PersistFraction: 0.25}
+}
+
+// linkDirKey identifies one direction of one physical link across
+// snapshots: endpoints, labels, and the link's position among its parallel
+// group (labels alone are not unique on the real map).
+type linkDirKey struct {
+	from, to string
+	label    string
+	ordinal  int
+}
+
+// CongestedLink is one persistently hot link direction.
+type CongestedLink struct {
+	From, To  string
+	Label     string
+	Ordinal   int     // position among the parallels from this endpoint
+	HotShare  float64 // fraction of snapshots above threshold
+	PeakLoad  wmap.Load
+	Snapshots int
+}
+
+// CongestionView is the detector's output.
+type CongestionView struct {
+	Options      CongestionOptions
+	Snapshots    int
+	Observations int     // directed load readings examined
+	HotReadings  int     // readings above threshold
+	HotFraction  float64 // HotReadings / Observations
+	Persistent   []CongestedLink
+}
+
+// CongestionStudy consumes a stream and reports occasional congestion
+// (fraction of hot readings, Figure 5b's tail) and the links that are hot
+// persistently.
+func CongestionStudy(src Stream, opt CongestionOptions) (*CongestionView, error) {
+	type acc struct {
+		hot, seen int
+		peak      wmap.Load
+	}
+	counts := make(map[linkDirKey]*acc)
+	view := &CongestionView{Options: opt}
+
+	err := src(func(m *wmap.Map) error {
+		view.Snapshots++
+		ordinals := make(map[[2]string]int)
+		for _, l := range m.Links {
+			for _, dir := range [2]struct {
+				from, to string
+				label    string
+				load     wmap.Load
+			}{
+				{l.A, l.B, l.LabelA, l.LoadAB},
+				{l.B, l.A, l.LabelB, l.LoadBA},
+			} {
+				ordKey := [2]string{dir.from, dir.to}
+				key := linkDirKey{from: dir.from, to: dir.to, label: dir.label, ordinal: ordinals[ordKey]}
+				a := counts[key]
+				if a == nil {
+					a = &acc{}
+					counts[key] = a
+				}
+				a.seen++
+				view.Observations++
+				if dir.load >= opt.Threshold {
+					a.hot++
+					view.HotReadings++
+				}
+				if dir.load > a.peak {
+					a.peak = dir.load
+				}
+			}
+			ordinals[[2]string{l.A, l.B}]++
+			ordinals[[2]string{l.B, l.A}]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if view.Observations == 0 {
+		return nil, fmt.Errorf("analysis: no load observations in the stream")
+	}
+	view.HotFraction = float64(view.HotReadings) / float64(view.Observations)
+
+	for key, a := range counts {
+		share := float64(a.hot) / float64(a.seen)
+		if share < opt.PersistFraction {
+			continue
+		}
+		view.Persistent = append(view.Persistent, CongestedLink{
+			From: key.from, To: key.to, Label: key.label, Ordinal: key.ordinal,
+			HotShare: share, PeakLoad: a.peak, Snapshots: a.seen,
+		})
+	}
+	sort.Slice(view.Persistent, func(i, j int) bool {
+		a, b := view.Persistent[i], view.Persistent[j]
+		if a.HotShare != b.HotShare {
+			return a.HotShare > b.HotShare
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Ordinal < b.Ordinal
+	})
+	return view, nil
+}
+
+// WriteCongestion renders the congestion view.
+func WriteCongestion(w io.Writer, v *CongestionView) {
+	fmt.Fprintf(w, "Congestion (threshold %d%%): %.2f%% of %d readings hot across %d snapshots\n",
+		int(v.Options.Threshold), 100*v.HotFraction, v.Observations, v.Snapshots)
+	if len(v.Persistent) == 0 {
+		fmt.Fprintln(w, "  no persistently congested link (occasional congestion only, as the paper observes)")
+		return
+	}
+	fmt.Fprintf(w, "  %d persistently congested direction(s):\n", len(v.Persistent))
+	for i, c := range v.Persistent {
+		if i >= 10 {
+			fmt.Fprintf(w, "  ... and %d more\n", len(v.Persistent)-i)
+			break
+		}
+		fmt.Fprintf(w, "  %s -> %s %s (parallel %d): hot in %.0f%% of snapshots, peak %s\n",
+			c.From, c.To, c.Label, c.Ordinal+1, 100*c.HotShare, c.PeakLoad)
+	}
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ovhweather/internal/stats"
+	"ovhweather/internal/status"
+)
+
+// MaintenanceMatch pairs one detected infrastructure change with the status
+// event that explains it, if any.
+type MaintenanceMatch struct {
+	Change stats.ChangeEvent
+	Event  *status.Event // nil when unexplained
+}
+
+// Explained reports whether a status event covers the change.
+func (m MaintenanceMatch) Explained() bool { return m.Event != nil }
+
+// MaintenanceCorrelation is the augmentation the paper's Discussion
+// proposes: every router-count change from the Figure 4a series matched
+// against the provider's published status feed.
+type MaintenanceCorrelation struct {
+	Matches     []MaintenanceMatch
+	Explained   int
+	Unexplained int
+}
+
+// CorrelateMaintenance matches the infrastructure series' router changes of
+// magnitude >= minAbs against the feed, with the given slack around event
+// windows (map updates and status posts are not perfectly synchronized).
+func CorrelateMaintenance(infra *InfraSeries, feed *status.Feed, minAbs float64, slack time.Duration) *MaintenanceCorrelation {
+	out := &MaintenanceCorrelation{}
+	for _, ch := range infra.RouterEvents(minAbs) {
+		// Removals look for maintenance windows; additions for upgrades.
+		kind := status.Upgrade
+		if ch.Delta < 0 {
+			kind = status.Maintenance
+		}
+		ev := feed.Explains(ch.T, kind, slack)
+		if ev == nil {
+			// A restoration at the end of a maintenance window is an
+			// addition covered by the maintenance event itself.
+			ev = feed.Explains(ch.T, status.Maintenance, slack)
+		}
+		m := MaintenanceMatch{Change: ch, Event: ev}
+		out.Matches = append(out.Matches, m)
+		if m.Explained() {
+			out.Explained++
+		} else {
+			out.Unexplained++
+		}
+	}
+	return out
+}
+
+// WriteMaintenance renders the correlation.
+func WriteMaintenance(w io.Writer, c *MaintenanceCorrelation) {
+	fmt.Fprintf(w, "Status-feed correlation — %d of %d router changes explained\n",
+		c.Explained, c.Explained+c.Unexplained)
+	for _, m := range c.Matches {
+		verb := "added"
+		n := int(m.Change.Delta)
+		if n < 0 {
+			verb = "removed"
+			n = -n
+		}
+		if m.Explained() {
+			fmt.Fprintf(w, "  %s: %d routers %s — %s %q\n",
+				m.Change.T.Format("2006-01-02"), n, verb, m.Event.Kind, m.Event.Description)
+		} else {
+			fmt.Fprintf(w, "  %s: %d routers %s — UNEXPLAINED (possible failure)\n",
+				m.Change.T.Format("2006-01-02"), n, verb)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"ovhweather/internal/dataset"
+	"ovhweather/internal/stats"
+	"ovhweather/internal/wmap"
+)
+
+// The report functions render each table and figure as aligned text, the
+// repository's equivalent of the paper's plots: same rows, same series,
+// same headline numbers.
+
+// WriteTable1 renders the Table 1 rows and total.
+func WriteTable1(w io.Writer, rows []Table1Row, total Table1Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Network Map\tOVH routers\tInternal links\tExternal links")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", r.Title, r.Routers, r.Internal, r.External)
+	}
+	fmt.Fprintf(tw, "Total\t%d\t%d\t%d\n", total.Routers, total.Internal, total.External)
+	return tw.Flush()
+}
+
+// WriteTable2 renders the dataset file summary.
+func WriteTable2(w io.Writer, sum map[wmap.MapID]map[string]dataset.Summary) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Network Map\tSVG files\tSVG GiB\tYAML files\tYAML GiB")
+	var tSVG, tYAML dataset.Summary
+	for _, id := range wmap.AllMaps() {
+		svg := sum[id][dataset.ExtSVG]
+		yaml := sum[id][dataset.ExtYAML]
+		fmt.Fprintf(tw, "%s\t%d\t%.4f\t%d\t%.4f\n", id.Title(), svg.Files, svg.GiB(), yaml.Files, yaml.GiB())
+		tSVG.Files += svg.Files
+		tSVG.Bytes += svg.Bytes
+		tYAML.Files += yaml.Files
+		tYAML.Bytes += yaml.Bytes
+	}
+	fmt.Fprintf(tw, "Total\t%d\t%.4f\t%d\t%.4f\n", tSVG.Files, tSVG.GiB(), tYAML.Files, tYAML.GiB())
+	return tw.Flush()
+}
+
+// WriteCoverage renders the Figure 2 view: one line per segment.
+func WriteCoverage(w io.Writer, cov dataset.MapCoverage) {
+	fmt.Fprintf(w, "Figure 2 — %s: %d snapshots, %d segment(s), %d gap(s)\n",
+		cov.Map.Title(), cov.Count, len(cov.Segments), len(cov.Gaps))
+	for _, seg := range cov.Segments {
+		fmt.Fprintf(w, "  %s .. %s (%d snapshots)\n",
+			seg.From.Format(time.RFC3339), seg.To.Format(time.RFC3339), seg.Count)
+	}
+}
+
+// WriteIntervals renders the Figure 3 view.
+func WriteIntervals(w io.Writer, dist dataset.IntervalDistribution) {
+	fmt.Fprintf(w, "Figure 3 — %s: %d intervals, %.2f%% at 5 min, %.2f%% within 10 min\n",
+		dist.Map.Title(), dist.Intervals, 100*dist.AtNominal, 100*dist.WithinTen)
+}
+
+// WriteInfraSeries renders the Figure 4a/4b series resampled to the given
+// step.
+func WriteInfraSeries(w io.Writer, s *InfraSeries, step time.Duration) {
+	fmt.Fprintln(w, "Figure 4a/4b — infrastructure evolution")
+	write := func(name string, ts *stats.TimeSeries) {
+		fmt.Fprintf(w, "  %s:\n", name)
+		for _, p := range ts.Resample(step).Points() {
+			fmt.Fprintf(w, "    %s %7.1f\n", p.T.Format("2006-01-02"), p.V)
+		}
+	}
+	write("routers", s.Routers)
+	write("internal links", s.Internal)
+	write("external links", s.External)
+}
+
+// WriteDegreeCCDF renders the Figure 4c view.
+func WriteDegreeCCDF(w io.Writer, v DegreeView) {
+	fmt.Fprintf(w, "Figure 4c — router degree CCDF (%d routers, max degree %d)\n", v.Routers, v.MaxDegree)
+	fmt.Fprintf(w, "  degree-1 fraction: %.2f, degree>20 fraction: %.2f\n", v.FracDegree1, v.FracOver20)
+	for _, p := range sampleDist(v.CCDF, 12) {
+		fmt.Fprintf(w, "  P[degree > %3.0f] = %.3f\n", p.Value, p.Fraction)
+	}
+}
+
+// WriteHourlyLoads renders the Figure 5a view.
+func WriteHourlyLoads(w io.Writer, v *HourlyLoadView) {
+	fmt.Fprintln(w, "Figure 5a — link loads by hour of day (p1/p25/median/p75/p99)")
+	for h := 0; h < 24; h++ {
+		if v.Samples[h] == 0 {
+			continue
+		}
+		q := v.Hours[h]
+		fmt.Fprintf(w, "  %02dh %5.1f %5.1f %5.1f %5.1f %5.1f  (%d obs)\n",
+			h, q.P1, q.P25, q.Median, q.P75, q.P99, v.Samples[h])
+	}
+	fmt.Fprintf(w, "  trough hour: %02dh, peak hour: %02dh\n", v.TroughHour(), v.PeakHour())
+}
+
+// WriteLoadCDF renders the Figure 5b view.
+func WriteLoadCDF(w io.Writer, v *LoadDistView) {
+	fmt.Fprintf(w, "Figure 5b — load distribution (%d observations)\n", v.Samples)
+	fmt.Fprintf(w, "  p75 = %.1f%%, loads > 60%%: %.2f%%\n", v.P75All, 100*v.FracOver60)
+	fmt.Fprintf(w, "  mean internal = %.1f%%, mean external = %.1f%%\n", v.MeanInternal, v.MeanExternal)
+	fmt.Fprintln(w, "  CDF (all loads):")
+	for _, p := range sampleDist(v.All, 10) {
+		fmt.Fprintf(w, "    P[load <= %3.0f] = %.3f\n", p.Value, p.Fraction)
+	}
+}
+
+// WriteImbalance renders the Figure 5c view.
+func WriteImbalance(w io.Writer, v *ImbalanceView) {
+	fmt.Fprintf(w, "Figure 5c — parallel-link imbalance (%d internal, %d external sets; %.2f parallels/group)\n",
+		v.IntSets, v.ExtSets, v.MeanParallelism)
+	fmt.Fprintf(w, "  internal <= 1%%: %.1f%%, external <= 2%%: %.1f%%\n", 100*v.IntWithin1, 100*v.ExtWithin2)
+	fmt.Fprintln(w, "  internal CDF:")
+	for _, p := range sampleDist(v.Internal, 8) {
+		fmt.Fprintf(w, "    P[imbalance <= %2.0f] = %.3f\n", p.Value, p.Fraction)
+	}
+	fmt.Fprintln(w, "  external CDF:")
+	for _, p := range sampleDist(v.External, 8) {
+		fmt.Fprintf(w, "    P[imbalance <= %2.0f] = %.3f\n", p.Value, p.Fraction)
+	}
+}
+
+// WriteUpgrade renders the Figure 6 view.
+func WriteUpgrade(w io.Writer, v *UpgradeView) {
+	fmt.Fprintf(w, "Figure 6 — link upgrade study: %s\n", v.Peering)
+	if !v.Added.IsZero() {
+		fmt.Fprintf(w, "  A: link added       %s\n", v.Added.Format(time.RFC3339))
+	}
+	if v.DBUpdate != nil {
+		fmt.Fprintf(w, "  B: PeeringDB update %s (%d -> %d Gbps)\n",
+			v.DBUpdate.Announced.Format(time.RFC3339), v.DBUpdate.GbpsBefore, v.DBUpdate.GbpsAfter)
+	}
+	if !v.Activated.IsZero() {
+		fmt.Fprintf(w, "  C: link activated   %s\n", v.Activated.Format(time.RFC3339))
+	}
+	fmt.Fprintf(w, "  per-link egress load: %.1f%% before, %.1f%% after (ratio %.2f",
+		v.MeanBefore, v.MeanAfter, v.DropRatio())
+	if v.DBUpdate != nil {
+		fmt.Fprintf(w, "; announced capacity implies %.2f, consistent: %v", v.AnnouncedRatio(), v.CapacityOK)
+	}
+	fmt.Fprintln(w, ")")
+}
+
+// sampleDist thins a distribution to at most n points, keeping the first
+// and last.
+func sampleDist(d []stats.DistPoint, n int) []stats.DistPoint {
+	if len(d) <= n || n < 2 {
+		return d
+	}
+	out := make([]stats.DistPoint, 0, n)
+	for i := 0; i < n-1; i++ {
+		out = append(out, d[i*(len(d)-1)/(n-1)])
+	}
+	return append(out, d[len(d)-1])
+}
+
+// Banner writes a section separator used by the analyze tool.
+func Banner(w io.Writer, title string) {
+	fmt.Fprintln(w, strings.Repeat("=", 64))
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("=", 64))
+}

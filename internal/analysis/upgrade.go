@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ovhweather/internal/peeringdb"
+	"ovhweather/internal/stats"
+	"ovhweather/internal/wmap"
+)
+
+// UpgradeView is the Figure 6 result: the per-link load series toward one
+// peering across an observation window, the three detected events (A: link
+// added, B: database update, C: link activated), and the cross-validation
+// of observed load drop against announced capacity.
+type UpgradeView struct {
+	Peering string
+
+	// Series holds one egress-load time series per parallel link, keyed by
+	// the link's position among the peering's parallels at each snapshot.
+	Series []*stats.TimeSeries
+
+	// LinkCount tracks the number of parallel links over time.
+	LinkCount *stats.TimeSeries
+
+	Added     time.Time // arrow A: parallel count increased
+	Activated time.Time // arrow C: the 0 % link first carries traffic
+
+	// DBUpdate is the matching capacity announcement (arrow B), when a
+	// database is supplied.
+	DBUpdate   *peeringdb.Upgrade
+	CapacityOK bool // announced ratio consistent with observed load drop
+
+	MeanBefore float64 // mean per-link egress load in the week before A
+	MeanAfter  float64 // mean per-link egress load in the week after C
+}
+
+// DropRatio returns the observed post/pre load ratio.
+func (v *UpgradeView) DropRatio() float64 {
+	if v.MeanBefore == 0 {
+		return 0
+	}
+	return v.MeanAfter / v.MeanBefore
+}
+
+// AnnouncedRatio returns the capacity-implied expected load ratio
+// (before/after, since load spreads over the added capacity).
+func (v *UpgradeView) AnnouncedRatio() float64 {
+	if v.DBUpdate == nil || v.DBUpdate.GbpsAfter == 0 {
+		return 0
+	}
+	return float64(v.DBUpdate.GbpsBefore) / float64(v.DBUpdate.GbpsAfter)
+}
+
+// UpgradeStudy consumes a stream and reconstructs the Figure 6 case study
+// for one peering. db may be nil, in which case the B arrow and the
+// capacity cross-check are skipped.
+func UpgradeStudy(src Stream, peering string, db *peeringdb.DB) (*UpgradeView, error) {
+	view := &UpgradeView{Peering: peering, LinkCount: stats.NewTimeSeries()}
+	var snaps []peerSnap
+	err := src(func(m *wmap.Map) error {
+		var loads []wmap.Load
+		for _, l := range m.Links {
+			switch peering {
+			case l.B:
+				loads = append(loads, l.LoadAB) // egress from the OVH side
+			case l.A:
+				loads = append(loads, l.LoadBA)
+			}
+		}
+		if len(loads) == 0 {
+			return nil
+		}
+		snaps = append(snaps, peerSnap{t: m.Time, loads: loads})
+		view.LinkCount.Append(m.Time, float64(len(loads)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("analysis: no links toward peering %q in the stream", peering)
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].t.Before(snaps[j].t) })
+
+	// Build per-link series and detect A (count increase) and C (a link
+	// that was 0 % starts carrying traffic after A).
+	maxLinks := 0
+	for _, s := range snaps {
+		if len(s.loads) > maxLinks {
+			maxLinks = len(s.loads)
+		}
+	}
+	view.Series = make([]*stats.TimeSeries, maxLinks)
+	for i := range view.Series {
+		view.Series[i] = stats.NewTimeSeries()
+	}
+	prevCount := len(snaps[0].loads)
+	for _, s := range snaps {
+		for i, l := range s.loads {
+			view.Series[i].Append(s.t, float64(l))
+		}
+		if len(s.loads) > prevCount && view.Added.IsZero() {
+			view.Added = s.t
+		}
+		if !view.Added.IsZero() && view.Activated.IsZero() && !s.t.Before(view.Added) {
+			allLoaded := true
+			for _, l := range s.loads {
+				if l == 0 {
+					allLoaded = false
+					break
+				}
+			}
+			if allLoaded {
+				view.Activated = s.t
+			}
+		}
+		prevCount = len(s.loads)
+	}
+
+	// Pre/post mean loads over week-long windows around the events.
+	if !view.Added.IsZero() {
+		view.MeanBefore = meanLoads(snaps, view.Added.AddDate(0, 0, -7), view.Added)
+	}
+	if !view.Activated.IsZero() {
+		view.MeanAfter = meanLoads(snaps, view.Activated, view.Activated.AddDate(0, 0, 7))
+	}
+
+	// Arrow B: the database announcement between A and (C + a week).
+	if db != nil && !view.Added.IsZero() {
+		hi := view.Activated
+		if hi.IsZero() {
+			hi = view.Added
+		}
+		ups := db.UpgradesBetween(view.Added, hi.AddDate(0, 0, 7))
+		for i := range ups {
+			if ups[i].Peering == peering {
+				view.DBUpdate = &ups[i]
+				break
+			}
+		}
+		if view.DBUpdate != nil && view.MeanBefore > 0 {
+			// The observed drop should match the announced capacity growth
+			// within a tolerance; noise and diurnal effects blur it.
+			want := view.AnnouncedRatio()
+			got := view.DropRatio()
+			view.CapacityOK = got > want-0.12 && got < want+0.12
+		}
+	}
+	return view, nil
+}
+
+// peerSnap is one snapshot's directed loads toward the studied peering.
+type peerSnap struct {
+	t     time.Time
+	loads []wmap.Load
+}
+
+// meanLoads averages the non-zero loads of the snapshots within [from, to).
+func meanLoads(snaps []peerSnap, from, to time.Time) float64 {
+	var sum float64
+	var n int
+	for _, s := range snaps {
+		if s.t.Before(from) || !s.t.Before(to) {
+			continue
+		}
+		for _, l := range s.loads {
+			if l > 0 {
+				sum += float64(l)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

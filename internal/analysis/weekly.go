@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ovhweather/internal/stats"
+	"ovhweather/internal/wmap"
+)
+
+// WeeklyView extends the Figure 5a day-cycle analysis to the week: load
+// statistics split by weekday vs weekend, plus the per-day-of-week medians.
+// Backbone traffic follows the population's rhythm, so weekends run lighter
+// — the same seasonality reasoning behind the paper's hour-of-day figure,
+// one level up.
+type WeeklyView struct {
+	WeekdayMean, WeekendMean float64
+	// ByDay maps time.Weekday to the median load of snapshots on that day.
+	ByDay   [7]float64
+	Samples [7]int
+}
+
+// WeeklyLoads consumes a stream and aggregates loads by day of week.
+func WeeklyLoads(src Stream) (*WeeklyView, error) {
+	byDay := make([]*stats.Sample, 7)
+	for i := range byDay {
+		byDay[i] = stats.NewSample()
+	}
+	err := src(func(m *wmap.Map) error {
+		d := int(m.Time.Weekday())
+		for _, l := range m.Links {
+			byDay[d].Add(float64(l.LoadAB), float64(l.LoadBA))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	view := &WeeklyView{}
+	weekday := stats.NewSample()
+	weekend := stats.NewSample()
+	for d := 0; d < 7; d++ {
+		view.Samples[d] = byDay[d].Len()
+		if byDay[d].Len() == 0 {
+			continue
+		}
+		med, err := byDay[d].Median()
+		if err != nil {
+			return nil, err
+		}
+		view.ByDay[d] = med
+		switch time.Weekday(d) {
+		case time.Saturday, time.Sunday:
+			weekend.Add(byDay[d].Values()...)
+		default:
+			weekday.Add(byDay[d].Values()...)
+		}
+	}
+	if weekday.Len() > 0 {
+		view.WeekdayMean, _ = weekday.Mean()
+	}
+	if weekend.Len() > 0 {
+		view.WeekendMean, _ = weekend.Mean()
+	}
+	if weekday.Len() == 0 && weekend.Len() == 0 {
+		return nil, stats.ErrEmpty
+	}
+	return view, nil
+}
+
+// WriteWeekly renders the weekly view.
+func WriteWeekly(w io.Writer, v *WeeklyView) {
+	fmt.Fprintf(w, "Weekly pattern — weekday mean %.1f%%, weekend mean %.1f%%\n",
+		v.WeekdayMean, v.WeekendMean)
+	for d := time.Sunday; d <= time.Saturday; d++ {
+		if v.Samples[d] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-9s median %.1f%% (%d obs)\n", d, v.ByDay[d], v.Samples[d])
+	}
+}

@@ -1,0 +1,125 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"ovhweather/internal/extract"
+	"ovhweather/internal/wmap"
+)
+
+// ProcessReport accounts for a batch-processing run the way the paper's
+// Table 2 text does: how many SVGs became YAMLs and why the rest failed.
+type ProcessReport struct {
+	Map       wmap.MapID
+	Processed int // SVGs successfully converted
+	ScanFail  int // invalid SVG / malformed attributes (Algorithm 1 failures)
+	AttrFail  int // missing elements / no intersections (Algorithm 2 failures)
+	WriteFail int
+	OtherFail int
+}
+
+// Total returns the number of input files considered.
+func (r ProcessReport) Total() int {
+	return r.Processed + r.ScanFail + r.AttrFail + r.WriteFail + r.OtherFail
+}
+
+// Failed returns the number of unprocessable files.
+func (r ProcessReport) Failed() int { return r.Total() - r.Processed }
+
+// String summarizes the report on one line.
+func (r ProcessReport) String() string {
+	return fmt.Sprintf("%s: %d/%d processed (%d scan, %d attribution, %d write, %d other failures)",
+		r.Map, r.Processed, r.Total(), r.ScanFail, r.AttrFail, r.WriteFail, r.OtherFail)
+}
+
+// ProcessMap converts every stored SVG snapshot of one map into its YAML
+// counterpart, skipping snapshots whose YAML already exists. Unprocessable
+// files are counted by failure class and left in place, exactly as the
+// paper keeps its malformed originals.
+func (s *Store) ProcessMap(id wmap.MapID, opt extract.Options, progress func(done, total int)) (ProcessReport, error) {
+	rep := ProcessReport{Map: id}
+	entries, err := s.Index(id, ExtSVG)
+	if err != nil {
+		return rep, err
+	}
+	for i, e := range entries {
+		if progress != nil {
+			progress(i, len(entries))
+		}
+		if _, err := s.ReadSnapshot(id, e.Time, ExtYAML); err == nil {
+			rep.Processed++ // already processed in an earlier run
+			continue
+		}
+		data, err := s.ReadSnapshot(id, e.Time, ExtSVG)
+		if err != nil {
+			rep.OtherFail++
+			continue
+		}
+		m, err := extract.ExtractSVG(bytes.NewReader(data), id, e.Time, opt)
+		if err != nil {
+			classify(&rep, err)
+			continue
+		}
+		out, err := extract.MarshalYAML(m)
+		if err != nil {
+			rep.OtherFail++
+			continue
+		}
+		if err := s.WriteSnapshot(id, e.Time, ExtYAML, out); err != nil {
+			rep.WriteFail++
+			continue
+		}
+		rep.Processed++
+	}
+	if progress != nil {
+		progress(len(entries), len(entries))
+	}
+	return rep, nil
+}
+
+func classify(rep *ProcessReport, err error) {
+	var scanErr *extract.ScanError
+	var attrErr *extract.AttributeError
+	switch {
+	case errors.As(err, &scanErr):
+		rep.ScanFail++
+	case errors.As(err, &attrErr):
+		rep.AttrFail++
+	case errors.Is(err, extract.ErrNotWeathermap):
+		rep.ScanFail++
+	default:
+		// XML-level failures from the SVG reader land here.
+		rep.ScanFail++
+	}
+}
+
+// LoadMap reads and decodes one processed YAML snapshot.
+func (s *Store) LoadMap(id wmap.MapID, at time.Time) (*wmap.Map, error) {
+	data, err := s.ReadSnapshot(id, at, ExtYAML)
+	if err != nil {
+		return nil, err
+	}
+	return extract.UnmarshalYAML(data)
+}
+
+// WalkMaps loads every processed snapshot of one map in chronological
+// order, invoking fn for each. Decoding failures abort the walk.
+func (s *Store) WalkMaps(id wmap.MapID, fn func(*wmap.Map) error) error {
+	entries, err := s.Index(id, ExtYAML)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		m, err := s.LoadMap(id, e.Time)
+		if err != nil {
+			return fmt.Errorf("dataset: %s at %s: %w", id, e.Time, err)
+		}
+		if err := fn(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package extract
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ovhweather/internal/geom"
+)
+
+// bruteClosest is the reference implementation: scan all boxes, keep the
+// closest intersecting one under the closerBox ordering.
+func bruteClosest(boxes []geom.Rect, line geom.Line, end geom.Point, skip []bool) int {
+	best := -1
+	for i := range boxes {
+		if skip != nil && skip[i] {
+			continue
+		}
+		if !boxes[i].IntersectsLine(line) {
+			continue
+		}
+		if best < 0 || closerBox(end, boxes[i], boxes[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Property: the grid index agrees with brute force on random box fields and
+// random query lines, including skip masks.
+func TestBoxIndexMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, nBoxes uint8, cellExp uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nBoxes)%60 + 1
+		boxes := make([]geom.Rect, n)
+		for i := range boxes {
+			boxes[i] = geom.RectFromXYWH(
+				rng.Float64()*900, rng.Float64()*700,
+				2+rng.Float64()*120, 2+rng.Float64()*60)
+		}
+		cell := []float64{16, 64, 300}[int(cellExp)%3]
+		idx := newBoxIndex(boxes, cell)
+		skip := make([]bool, n)
+		for i := range skip {
+			skip[i] = rng.Float64() < 0.3
+		}
+		for q := 0; q < 10; q++ {
+			a := geom.Pt(rng.Float64()*1000-50, rng.Float64()*800-50)
+			b := geom.Pt(rng.Float64()*1000-50, rng.Float64()*800-50)
+			if a.Eq(b) {
+				continue
+			}
+			line := geom.LineThrough(a, b)
+			for _, end := range []geom.Point{a, b} {
+				var mask []bool
+				if q%2 == 0 {
+					mask = skip
+				}
+				want := bruteClosest(boxes, line, end, mask)
+				got := idx.closestIntersecting(line, end, mask)
+				if got != want {
+					t.Logf("seed=%d n=%d cell=%v end=%v: got %d want %d", seed, n, cell, end, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxIndexEmpty(t *testing.T) {
+	idx := newBoxIndex(nil, 64)
+	line := geom.LineThrough(geom.Pt(0, 0), geom.Pt(1, 1))
+	if got := idx.closestIntersecting(line, geom.Pt(0, 0), nil); got != -1 {
+		t.Errorf("empty index returned %d", got)
+	}
+}
+
+func TestBoxIndexAllSkipped(t *testing.T) {
+	boxes := []geom.Rect{geom.RectFromXYWH(0, 0, 10, 10)}
+	idx := newBoxIndex(boxes, 64)
+	line := geom.LineThrough(geom.Pt(-5, 5), geom.Pt(20, 5))
+	if got := idx.closestIntersecting(line, geom.Pt(0, 5), []bool{true}); got != -1 {
+		t.Errorf("skipped-only index returned %d", got)
+	}
+}
+
+func TestBoxIndexFarQuery(t *testing.T) {
+	// A query whose end is many rings away from the only box must still
+	// find it (maxRadius bound) and terminate.
+	boxes := []geom.Rect{geom.RectFromXYWH(5000, 5000, 10, 10)}
+	idx := newBoxIndex(boxes, 16)
+	line := geom.LineThrough(geom.Pt(0, 5005), geom.Pt(10000, 5005))
+	if got := idx.closestIntersecting(line, geom.Pt(0, 5005), nil); got != 0 {
+		t.Errorf("far query returned %d", got)
+	}
+}
+
+func TestBoxIndexTieBreak(t *testing.T) {
+	// Two boxes both containing the end point (distance 0): the coordinate
+	// tie-break must pick the one with the smaller Min.
+	boxes := []geom.Rect{
+		geom.RectFromXYWH(10, 0, 30, 30),
+		geom.RectFromXYWH(0, 0, 30, 30),
+	}
+	idx := newBoxIndex(boxes, 64)
+	end := geom.Pt(20, 15) // inside both
+	line := geom.LineThrough(end, geom.Pt(200, 15))
+	want := bruteClosest(boxes, line, end, nil)
+	got := idx.closestIntersecting(line, end, nil)
+	if got != want || got != 1 {
+		t.Errorf("tie-break: got %d, brute %d, want 1", got, want)
+	}
+}
+
+func TestBoxIndexNegativeCoordinates(t *testing.T) {
+	boxes := []geom.Rect{geom.RectFromXYWH(-500, -400, 40, 20)}
+	idx := newBoxIndex(boxes, 64)
+	line := geom.LineThrough(geom.Pt(-480, -390), geom.Pt(100, -390))
+	if got := idx.closestIntersecting(line, geom.Pt(-480, -390), nil); got != 0 {
+		t.Errorf("negative-coordinate query returned %d", got)
+	}
+}
+
+func TestBoxIndexRingBoundRegression(t *testing.T) {
+	// Regression for the off-by-one stop bound: a mediocre candidate in the
+	// end's own cell must not stop the search before a better box in ring 1
+	// is examined. Box 0 intersects the line at ~42px from the end; box 1
+	// (in the neighbouring cell, >cell away in index terms but closer in
+	// distance) is at ~30px.
+	cell := 64.0
+	boxes := []geom.Rect{
+		geom.RectFromXYWH(42, -5, 10, 10),  // same cell as end, dist ~42
+		geom.RectFromXYWH(-40, -5, 10, 10), // previous cell, dist 30
+	}
+	idx := newBoxIndex(boxes, cell)
+	end := geom.Pt(0, 0)
+	line := geom.LineThrough(geom.Pt(-100, 0), geom.Pt(100, 0))
+	want := bruteClosest(boxes, line, end, nil)
+	if want != 1 {
+		t.Fatalf("test setup wrong: brute force = %d", want)
+	}
+	if got := idx.closestIntersecting(line, end, nil); got != 1 {
+		t.Errorf("ring bound regression: got %d, want 1", got)
+	}
+}
+
+func TestBoxIndexLargeBoxSpanningManyCells(t *testing.T) {
+	// One giant box spanning dozens of cells plus small boxes; duplicate
+	// candidate evaluation across cells must not corrupt the result.
+	boxes := []geom.Rect{
+		geom.RectFromXYWH(0, 0, 1000, 500),
+		geom.RectFromXYWH(100, 100, 10, 10),
+	}
+	idx := newBoxIndex(boxes, 32)
+	end := geom.Pt(105, 105)
+	line := geom.LineThrough(end, geom.Pt(900, 400))
+	want := bruteClosest(boxes, line, end, nil)
+	got := idx.closestIntersecting(line, end, nil)
+	if got != want {
+		t.Errorf("got %d want %d", got, want)
+	}
+}

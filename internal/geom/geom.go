@@ -1,0 +1,393 @@
+// Package geom provides the 2D geometric primitives used to interpret
+// weather-map SVG images.
+//
+// The OVH Network Weathermap lists routers, link arrows and labels as flat
+// SVG elements whose relationships are expressed only through their
+// placement in the 2D image plane. Reconstructing the topology (Algorithm 2
+// of the paper) therefore reduces to a handful of geometric questions:
+// which boxes does the straight line through a link intersect, and how far
+// is each intersected box from either end of the link?
+//
+// All coordinates follow the SVG convention: x grows rightward, y grows
+// downward, units are pixels. The zero value of every type is meaningful
+// (a point at the origin, an empty rectangle, a degenerate segment).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Epsilon is the tolerance used by approximate comparisons. SVG documents
+// carry coordinates with limited precision; two values closer than Epsilon
+// are considered equal.
+const Epsilon = 1e-9
+
+// Point is a position in the 2D image plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String returns the point formatted as "(x, y)".
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Add returns the vector sum p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by the factor k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dot returns the dot product of p and q treated as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z component of the cross product of p and q treated as
+// vectors. Its sign tells on which side of p the vector q lies.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p treated as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// Eq reports whether p and q coincide within Epsilon.
+func (p Point) Eq(q Point) bool {
+	return math.Abs(p.X-q.X) < Epsilon && math.Abs(p.Y-q.Y) < Epsilon
+}
+
+// Mid returns the midpoint of p and q.
+func Mid(p, q Point) Point { return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2} }
+
+// Centroid returns the arithmetic mean of the given points. It returns the
+// zero Point when pts is empty.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var c Point
+	for _, p := range pts {
+		c.X += p.X
+		c.Y += p.Y
+	}
+	return c.Scale(1 / float64(len(pts)))
+}
+
+// Segment is the straight stretch between two points.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{A: a, B: b}.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// Len returns the length of the segment.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// Mid returns the midpoint of the segment.
+func (s Segment) Mid() Point { return Mid(s.A, s.B) }
+
+// Dir returns the unit direction vector from A to B. For a degenerate
+// segment (A == B) it returns the zero vector.
+func (s Segment) Dir() Point {
+	d := s.B.Sub(s.A)
+	n := d.Norm()
+	if n < Epsilon {
+		return Point{}
+	}
+	return d.Scale(1 / n)
+}
+
+// PointAt returns the point at parameter t along the segment, where t=0
+// yields A and t=1 yields B. Values outside [0,1] extrapolate.
+func (s Segment) PointAt(t float64) Point {
+	return Point{s.A.X + t*(s.B.X-s.A.X), s.A.Y + t*(s.B.Y-s.A.Y)}
+}
+
+// DistToPoint returns the shortest distance from p to any point of the
+// segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	ab := s.B.Sub(s.A)
+	l2 := ab.Dot(ab)
+	if l2 < Epsilon {
+		return p.Dist(s.A)
+	}
+	t := p.Sub(s.A).Dot(ab) / l2
+	t = math.Max(0, math.Min(1, t))
+	return p.Dist(s.PointAt(t))
+}
+
+// Line is an infinite straight line through two distinct points. It is the
+// geometric object Algorithm 2 derives from a link's two arrow bases.
+type Line struct {
+	P, Q Point
+}
+
+// LineThrough returns the infinite line through p and q.
+func LineThrough(p, q Point) Line { return Line{P: p, Q: q} }
+
+// LineOf returns the infinite line supporting the segment.
+func LineOf(s Segment) Line { return Line{P: s.A, Q: s.B} }
+
+// Degenerate reports whether the line's defining points coincide, in which
+// case the line is not well defined.
+func (l Line) Degenerate() bool { return l.P.Eq(l.Q) }
+
+// DistToPoint returns the perpendicular distance from p to the line. For a
+// degenerate line it returns the distance to the single defining point.
+func (l Line) DistToPoint(p Point) float64 {
+	d := l.Q.Sub(l.P)
+	n := d.Norm()
+	if n < Epsilon {
+		return p.Dist(l.P)
+	}
+	return math.Abs(d.Cross(p.Sub(l.P))) / n
+}
+
+// Side reports the sign of the cross product of the line direction with the
+// vector to p: +1 if p lies on the left of P→Q, -1 on the right, 0 when p is
+// on the line (within Epsilon).
+func (l Line) Side(p Point) int {
+	c := l.Q.Sub(l.P).Cross(p.Sub(l.P))
+	switch {
+	case c > Epsilon:
+		return 1
+	case c < -Epsilon:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Rect is an axis-aligned rectangle, the bounding shape of router boxes and
+// label boxes in the weather map. Min is the top-left corner in SVG
+// coordinates (smaller y is higher on screen) and Max the bottom-right.
+type Rect struct {
+	Min, Max Point
+}
+
+// RectFromXYWH builds a Rect from the SVG rect attributes x, y, width and
+// height. Negative widths or heights are normalized away.
+func RectFromXYWH(x, y, w, h float64) Rect {
+	r := Rect{Min: Pt(x, y), Max: Pt(x+w, y+h)}
+	return r.Canon()
+}
+
+// RectAround returns the axis-aligned bounding rectangle of the given
+// points. It returns the empty Rect when pts is empty.
+func RectAround(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r
+}
+
+// Canon returns the rectangle with Min and Max swapped per axis as needed so
+// that Min.X <= Max.X and Min.Y <= Max.Y.
+func (r Rect) Canon() Rect {
+	if r.Min.X > r.Max.X {
+		r.Min.X, r.Max.X = r.Max.X, r.Min.X
+	}
+	if r.Min.Y > r.Max.Y {
+		r.Min.Y, r.Max.Y = r.Max.Y, r.Min.Y
+	}
+	return r
+}
+
+// W returns the rectangle's width.
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the rectangle's height.
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point { return Mid(r.Min, r.Max) }
+
+// Empty reports whether the rectangle has zero or negative area.
+func (r Rect) Empty() bool { return r.W() <= 0 || r.H() <= 0 }
+
+// Contains reports whether p lies inside or on the boundary of r, with an
+// Epsilon tolerance on the boundary.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X-Epsilon && p.X <= r.Max.X+Epsilon &&
+		p.Y >= r.Min.Y-Epsilon && p.Y <= r.Max.Y+Epsilon
+}
+
+// Inflate returns the rectangle grown by d on every side. A negative d
+// shrinks it.
+func (r Rect) Inflate(d float64) Rect {
+	return Rect{
+		Min: Pt(r.Min.X-d, r.Min.Y-d),
+		Max: Pt(r.Max.X+d, r.Max.Y+d),
+	}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		Min: Pt(math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)),
+		Max: Pt(math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)),
+	}
+}
+
+// Overlaps reports whether r and s share any area.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.Min.X < s.Max.X && s.Min.X < r.Max.X &&
+		r.Min.Y < s.Max.Y && s.Min.Y < r.Max.Y
+}
+
+// Corners returns the four corners of r in clockwise order starting from
+// Min (top-left in SVG coordinates).
+func (r Rect) Corners() [4]Point {
+	return [4]Point{
+		r.Min,
+		Pt(r.Max.X, r.Min.Y),
+		r.Max,
+		Pt(r.Min.X, r.Max.Y),
+	}
+}
+
+// Edges returns the four boundary segments of r.
+func (r Rect) Edges() [4]Segment {
+	c := r.Corners()
+	return [4]Segment{
+		Seg(c[0], c[1]),
+		Seg(c[1], c[2]),
+		Seg(c[2], c[3]),
+		Seg(c[3], c[0]),
+	}
+}
+
+// IntersectsLine reports whether the infinite line l crosses (or touches)
+// the rectangle. This is the core predicate of Algorithm 2: a router or
+// label box "intersects" a link when the link's supporting line passes
+// through the box.
+//
+// The test checks whether all four corners lie strictly on the same side of
+// the line; if they do not, the line crosses the rectangle. Degenerate lines
+// intersect only rectangles containing their defining point.
+func (r Rect) IntersectsLine(l Line) bool {
+	if l.Degenerate() {
+		return r.Contains(l.P)
+	}
+	c := r.Corners()
+	pos, neg := false, false
+	for _, p := range c {
+		switch l.Side(p) {
+		case 1:
+			pos = true
+		case -1:
+			neg = true
+		case 0:
+			// A corner exactly on the line counts as touching.
+			return true
+		}
+		if pos && neg {
+			return true
+		}
+	}
+	return false
+}
+
+// DistToPoint returns the distance from p to the rectangle: zero when p is
+// inside, otherwise the distance to the nearest boundary point.
+func (r Rect) DistToPoint(p Point) float64 {
+	dx := math.Max(math.Max(r.Min.X-p.X, 0), p.X-r.Max.X)
+	dy := math.Max(math.Max(r.Min.Y-p.Y, 0), p.Y-r.Max.Y)
+	return math.Hypot(dx, dy)
+}
+
+// Polygon is a closed sequence of vertices. Weather-map link arrows are
+// drawn as filled polygons; their base (the wide end opposite the tip)
+// anchors the link at a router.
+type Polygon []Point
+
+// Bounds returns the axis-aligned bounding rectangle of the polygon.
+func (pg Polygon) Bounds() Rect { return RectAround(pg) }
+
+// Centroid returns the vertex centroid of the polygon (not the area
+// centroid; the vertex centroid is what the flat SVG processing needs, and
+// it is stable under the collinear and repeated vertices that appear in
+// generated arrow shapes).
+func (pg Polygon) Centroid() Point { return Centroid(pg) }
+
+// Area returns the absolute area enclosed by the polygon using the shoelace
+// formula. Self-intersecting polygons yield the net signed area's magnitude.
+func (pg Polygon) Area() float64 {
+	if len(pg) < 3 {
+		return 0
+	}
+	var s float64
+	for i := range pg {
+		j := (i + 1) % len(pg)
+		s += pg[i].Cross(pg[j])
+	}
+	return math.Abs(s) / 2
+}
+
+// ArrowTip returns the vertex of an arrow-shaped polygon that is farthest
+// from the vertex centroid. For the isoceles arrow heads the weathermap
+// renderer draws, this is the arrow tip.
+func (pg Polygon) ArrowTip() (Point, bool) {
+	if len(pg) == 0 {
+		return Point{}, false
+	}
+	c := pg.Centroid()
+	best, bestD := pg[0], -1.0
+	for _, p := range pg {
+		if d := p.Dist(c); d > bestD {
+			best, bestD = p, d
+		}
+	}
+	return best, true
+}
+
+// ArrowTipDir returns the unit vector from the arrow base toward the tip,
+// or the zero vector for degenerate polygons.
+func (pg Polygon) ArrowTipDir() Point {
+	tip, ok1 := pg.ArrowTip()
+	base, ok2 := pg.ArrowBase()
+	if !ok1 || !ok2 {
+		return Point{}
+	}
+	return Seg(base, tip).Dir()
+}
+
+// ArrowBase returns the midpoint of the polygon edge farthest from the
+// arrow tip — the "basis" of the arrow in the paper's terminology. The two
+// arrow bases of a bidirectional link sit at the link's two router ends, and
+// the line through them is the link's supporting line.
+func (pg Polygon) ArrowBase() (Point, bool) {
+	tip, ok := pg.ArrowTip()
+	if !ok || len(pg) < 2 {
+		return Point{}, false
+	}
+	var best Point
+	bestD := -1.0
+	for i := range pg {
+		j := (i + 1) % len(pg)
+		m := Mid(pg[i], pg[j])
+		if d := m.Dist(tip); d > bestD {
+			best, bestD = m, d
+		}
+	}
+	return best, true
+}

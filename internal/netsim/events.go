@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ovhweather/internal/wmap"
+)
+
+// apply executes one evolution event against the state.
+func (st *mapState) apply(ev Event) error {
+	switch ev.Kind {
+	case AddRouters:
+		return st.applyAddRouters(ev)
+	case RemoveRouters:
+		return st.applyRemoveRouters(ev)
+	case RestoreRouters:
+		return st.applyRestoreRouters(ev)
+	case AddInternalLinks:
+		return st.applyAddInternalLinks(ev)
+	case AddExternalLinks:
+		return st.applyAddExternalLinks(ev)
+	case AddInactiveParallel:
+		return st.applyAddInactiveParallel(ev)
+	case ActivateLinks:
+		return st.applyActivateLinks(ev)
+	default:
+		return fmt.Errorf("netsim: unknown event kind %v", ev.Kind)
+	}
+}
+
+func (st *mapState) applyAddRouters(ev Event) error {
+	par := ev.Parallels
+	if par <= 0 {
+		par = 2
+	}
+	for i := 0; i < ev.Count; i++ {
+		name := st.names.router()
+		st.addNode(name, wmap.Router)
+		anchor := st.weightedCoreRouter()
+		g := st.newInternalGroup(name, anchor, par)
+		// Attach groups keep their creation parallelism: widening them would
+		// make later make-before-break removals delete more links than the
+		// matching addition introduced, breaking the evolution budget.
+		g.edge = true
+		st.addedPool = append(st.addedPool, name)
+	}
+	return nil
+}
+
+func (st *mapState) applyRemoveRouters(ev Event) error {
+	batch := removedBatch{}
+	for i := 0; i < ev.Count; i++ {
+		var victim string
+		if len(st.addedPool) > 0 {
+			victim = st.addedPool[len(st.addedPool)-1]
+			st.addedPool = st.addedPool[:len(st.addedPool)-1]
+		} else {
+			victim = st.lowestDegreeOwnRouter()
+			if victim == "" {
+				return fmt.Errorf("netsim: no removable router on %s", st.sc.ID)
+			}
+		}
+		batch.nodes = append(batch.nodes, victim)
+		kept := st.groups[:0]
+		for _, g := range st.groups {
+			if g.a == victim || g.b == victim {
+				batch.groups = append(batch.groups, g)
+				continue
+			}
+			kept = append(kept, g)
+		}
+		st.groups = kept
+		st.removeNode(victim)
+		st.dropCoreRouter(victim)
+	}
+	st.lastRemoved = batch
+	return nil
+}
+
+func (st *mapState) applyRestoreRouters(Event) error {
+	for _, n := range st.lastRemoved.nodes {
+		st.addNode(n, wmap.Router)
+	}
+	st.groups = append(st.groups, st.lastRemoved.groups...)
+	st.lastRemoved = removedBatch{}
+	return nil
+}
+
+func (st *mapState) applyAddInternalLinks(ev Event) error {
+	gs := st.widenableInternalGroups()
+	if len(gs) == 0 {
+		return fmt.Errorf("netsim: no internal groups on %s", st.sc.ID)
+	}
+	start := st.rng.Intn(len(gs))
+	for i := 0; i < ev.Count; i++ {
+		g := gs[(start+i)%len(gs)]
+		g.links = append(g.links, st.newLink())
+		g.baseCount++
+	}
+	return nil
+}
+
+func (st *mapState) applyAddExternalLinks(ev Event) error {
+	for i := 0; i < ev.Count; i++ {
+		ext := st.growableExternalGroups()
+		if len(ext) > 0 && st.rng.Float64() < 0.7 {
+			g := ext[st.rng.Intn(len(ext))]
+			g.links = append(g.links, st.newLink())
+			g.baseCount++
+			continue
+		}
+		st.newExternalGroup(st.names.peering(), 1)
+	}
+	return nil
+}
+
+// growableExternalGroups excludes scripted peerings (the upgrade-study
+// target) from organic growth so their parallelism stays under scenario
+// control.
+func (st *mapState) growableExternalGroups() []*simGroup {
+	var out []*simGroup
+	for _, g := range st.externalGroups() {
+		if _, scripted := st.sc.ScriptedPeerings[g.b]; scripted {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func (st *mapState) applyAddInactiveParallel(ev Event) error {
+	g := st.peeringGroup(ev.Peering)
+	if g == nil {
+		return fmt.Errorf("netsim: no group toward peering %q on %s", ev.Peering, st.sc.ID)
+	}
+	l := st.newLink()
+	l.active = false
+	g.links = append(g.links, l)
+	// baseCount deliberately NOT incremented: demand stays calibrated to the
+	// pre-upgrade parallelism, so activation spreads the same traffic over
+	// more links and every load drops — the Figure 6 signature.
+	return nil
+}
+
+func (st *mapState) applyActivateLinks(ev Event) error {
+	g := st.peeringGroup(ev.Peering)
+	if g == nil {
+		return fmt.Errorf("netsim: no group toward peering %q on %s", ev.Peering, st.sc.ID)
+	}
+	for i := range g.links {
+		g.links[i].active = true
+	}
+	return nil
+}
+
+func (st *mapState) externalGroups() []*simGroup {
+	var out []*simGroup
+	for _, g := range st.groups {
+		if !g.internal {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func (st *mapState) peeringGroup(name string) *simGroup {
+	for _, g := range st.groups {
+		if !g.internal && g.b == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// lowestDegreeOwnRouter returns the non-borrowed router with the fewest
+// links, the natural maintenance victim when no event-added router remains.
+func (st *mapState) lowestDegreeOwnRouter() string {
+	deg := make(map[string]int)
+	for _, g := range st.groups {
+		deg[g.a] += len(g.links)
+		deg[g.b] += len(g.links)
+	}
+	best, bestDeg := "", 1<<30
+	for _, n := range st.order {
+		if st.nodes[n] != wmap.Router {
+			continue
+		}
+		if d := deg[n]; d < bestDeg {
+			best, bestDeg = n, d
+		}
+	}
+	return best
+}
+
+func (st *mapState) dropCoreRouter(name string) {
+	for i, r := range st.coreRouters {
+		if r == name {
+			st.coreRouters = append(st.coreRouters[:i], st.coreRouters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Region identifies a name pool for router generation.
+type Region int
+
+// Regions of the OVH backbone.
+const (
+	RegionEurope Region = iota
+	RegionNorthAmerica
+	RegionAsiaPacific
+)
+
+// cityCodes lists the airport-style site codes used in OVH router names,
+// per region (fra-fr5-pb6-nc5 style).
+var cityCodes = map[Region][]string{
+	RegionEurope: {
+		"fra", "rbx", "gra", "sbg", "par", "lon", "ams", "bru", "mil",
+		"mad", "waw", "vie", "zur", "prg", "dub", "cph", "sto", "hel",
+		"osl", "lis", "bcn", "muc", "ber", "rom", "ath",
+	},
+	RegionNorthAmerica: {
+		"bhs", "nyc", "ash", "chi", "dal", "lax", "sea", "mia", "tor",
+		"mtl", "sjc", "den", "atl", "phx", "yyz",
+	},
+	RegionAsiaPacific: {
+		"sgp", "syd", "tok", "hkg", "mum", "sel", "osa", "per", "akl",
+	},
+}
+
+// chassisTags mirror the platform tags appearing in OVH router names.
+var chassisTags = []string{"pb1", "pb2", "pb6", "g1", "g2", "g3", "sbb1", "a9", "a75"}
+
+// peeringNames lists physical peering names in the style of the weather
+// map's upper-case boxes. Order matters only for determinism.
+var peeringNames = []string{
+	"ARELION", "VODAFONE", "OMANTEL", "AMS-IX", "DE-CIX", "FRANCE-IX",
+	"LINX", "COGENT", "LUMEN", "TELIA", "ORANGE", "TATA", "NTT", "PCCW",
+	"TELXIUS", "GTT", "ZAYO", "EQUINIX-IX", "ESPANIX", "MIX", "NETNOD",
+	"LONAP", "SEACOM", "VERIZON", "SPRINT", "SWISSCOM", "BICS", "RETN",
+	"CORE-BACKBONE", "HURRICANE", "LIBERTY", "TELEFONICA", "PROXIMUS",
+	"KPN", "TIM", "SFR", "EXA", "COLT", "EUNETWORKS", "AKAMAI",
+	"CLOUDFLARE", "GOOGLE", "META", "MICROSOFT", "APPLE", "NETFLIX",
+	"AMAZON", "FASTLY", "TWITCH", "OVH-TELECOM", "SIPARTECH", "IELO",
+	"ADISTA", "CELESTE", "JAGUAR", "NEXTDC", "MEGAPORT", "VOCUS",
+	"TELSTRA", "SINGTEL", "KDDI", "SOFTBANK", "CHINANET", "CMI",
+	"KOREA-TELECOM", "AIRTEL", "RELIANCE", "TPG", "SPARK", "OPTUS",
+	"COMCAST", "CHARTER", "BELL", "ROGERS", "SHAW", "TELUS", "COX",
+	"ALTICE", "WINDSTREAM", "FRONTIER", "USCELLULAR", "TMOBILE",
+	"ANY2-IX", "TORIX", "SIX", "NYIIX", "DRF-IX", "QIX", "MICE",
+	"BBIX", "JPIX", "JPNAP", "HKIX", "SGIX", "IX-AUSTRALIA", "NIXI",
+	"EDGE-IX", "THINX", "PLIX", "NIX-CZ", "VIX", "BIX", "INEX",
+}
+
+// namePool issues unique node names deterministically.
+type namePool struct {
+	rng         *rand.Rand
+	region      Region
+	usedRouters map[string]struct{}
+	peers       []string // pool-private copy; reservations reorder it
+	peerIdx     int
+	extraPeer   int
+}
+
+func newNamePool(region Region, rng *rand.Rand) *namePool {
+	return &namePool{
+		rng:         rng,
+		region:      region,
+		usedRouters: make(map[string]struct{}),
+		peers:       append([]string(nil), peeringNames...),
+	}
+}
+
+// router returns a fresh unique router name, e.g. "fra-fr5-pb6-nc5".
+func (p *namePool) router() string {
+	cities := cityCodes[p.region]
+	for {
+		city := cities[p.rng.Intn(len(cities))]
+		name := fmt.Sprintf("%s-%s%d-%s-nc%d",
+			city,
+			city[:1]+city[len(city)-1:], 1+p.rng.Intn(9),
+			chassisTags[p.rng.Intn(len(chassisTags))],
+			1+p.rng.Intn(99))
+		if _, used := p.usedRouters[name]; used {
+			continue
+		}
+		p.usedRouters[name] = struct{}{}
+		return name
+	}
+}
+
+// peering returns the next peering name from the shared carrier list,
+// synthesizing "PEER-AS<nnn>" names once the list is exhausted.
+func (p *namePool) peering() string {
+	if p.peerIdx < len(p.peers) {
+		name := p.peers[p.peerIdx]
+		p.peerIdx++
+		return name
+	}
+	p.extraPeer++
+	return fmt.Sprintf("PEER-AS%d", 64500+p.extraPeer)
+}
+
+// reservePeering marks a specific name as consumed so scenario-scripted
+// peerings (AMS-IX for the upgrade study) can be placed deliberately.
+func (p *namePool) reservePeering(name string) {
+	for i := p.peerIdx; i < len(p.peers); i++ {
+		if p.peers[i] == name {
+			// Swap it just behind the cursor so the sequential issue skips it.
+			p.peers[i], p.peers[p.peerIdx] = p.peers[p.peerIdx], p.peers[i]
+			p.peerIdx++
+			return
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"time"
+
+	"ovhweather/internal/wmap"
+)
+
+// ScalewayLikeScenario models the other French cloud provider whose SVG
+// weather map the paper's Discussion points at as a comparison target
+// ("While the network size is inferior compared to the one of our dataset,
+// researchers could compare the collected data to understand the
+// differences that could exist between the two networks").
+//
+// The scenario is a single backbone map roughly a quarter of OVH Europe's
+// size, with the same publication format: the whole pipeline — renderer,
+// collector, extractor, analyses — runs on it unchanged. Its traffic runs
+// hotter than OVH's (less excess capacity on a smaller network), which is
+// the kind of difference the comparison is meant to surface.
+func ScalewayLikeScenario() Scenario {
+	start := date(2021, time.January, 1)
+	end := date(2022, time.September, 12)
+
+	backbone := MapScenario{
+		ID:            wmap.Europe, // the provider's single European backbone map
+		Region:        RegionEurope,
+		Seed:          0x5CA1,
+		Routers:       24,
+		InternalLinks: 118,
+		ExternalLinks: 38,
+		EdgeFraction:  0.2,
+		Events: []Event{
+			{Time: date(2021, time.May, 11), Kind: AddRouters, Count: 2, Parallels: 2, Note: "expansion"},
+			{Time: date(2021, time.November, 16), Kind: AddInternalLinks, Count: 8, Note: "core upgrade"},
+			{Time: date(2022, time.April, 5), Kind: AddInternalLinks, Count: 6, Note: "core upgrade"},
+		},
+	}
+	for i := 0; i < 8; i++ {
+		backbone.Events = append(backbone.Events, Event{
+			Time: date(2021, time.March, 8).AddDate(0, 2*i, 0),
+			Kind: AddExternalLinks, Count: 1, Note: "new peering capacity",
+		})
+	}
+
+	traffic := DefaultTrafficParams()
+	// A smaller provider runs its links hotter and spreads ECMP slightly
+	// less evenly (fewer parallels to spread over).
+	traffic.InternalBase += 6
+	traffic.ExternalBase += 4
+	traffic.InternalJitter *= 1.5
+	traffic.AnnualGrowth = 0.14
+
+	return Scenario{
+		Start:   start,
+		End:     end,
+		Step:    5 * time.Minute,
+		Maps:    []MapScenario{backbone},
+		Traffic: traffic,
+	}
+}

@@ -1,0 +1,282 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"ovhweather/internal/wmap"
+)
+
+// EventKind enumerates topology evolution events.
+type EventKind int
+
+// Evolution event kinds.
+const (
+	// AddRouters adds Count routers, each attached to the existing core by
+	// one group of Parallels internal links.
+	AddRouters EventKind = iota
+	// RemoveRouters removes Count routers together with their links,
+	// preferring routers introduced by earlier AddRouters events so that
+	// make-before-break upgrades remove exactly what they added.
+	RemoveRouters
+	// RestoreRouters re-adds the routers (and links) removed by the most
+	// recent RemoveRouters event, modelling the end of a maintenance window.
+	RestoreRouters
+	// AddInternalLinks adds Count internal links as parallels on existing
+	// router-router groups (spreading round-robin), modelling coordinated
+	// core upgrades.
+	AddInternalLinks
+	// AddExternalLinks adds Count external links: parallels on existing
+	// peering groups, or occasionally a new peering.
+	AddExternalLinks
+	// AddInactiveParallel adds one parallel link to the peering named in
+	// Peering, left inactive (0 % load) — arrow A of the upgrade study.
+	AddInactiveParallel
+	// ActivateLinks activates every inactive link of the peering named in
+	// Peering — arrow C of the upgrade study.
+	ActivateLinks
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case AddRouters:
+		return "add-routers"
+	case RemoveRouters:
+		return "remove-routers"
+	case RestoreRouters:
+		return "restore-routers"
+	case AddInternalLinks:
+		return "add-internal-links"
+	case AddExternalLinks:
+		return "add-external-links"
+	case AddInactiveParallel:
+		return "add-inactive-parallel"
+	case ActivateLinks:
+		return "activate-links"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one scheduled topology change on one map.
+type Event struct {
+	Time      time.Time
+	Kind      EventKind
+	Count     int
+	Parallels int    // links attached per added router (AddRouters)
+	Peering   string // target peering (AddInactiveParallel / ActivateLinks)
+	Note      string // free-form description for logs and docs
+}
+
+// MapScenario describes one map's initial topology and its evolution.
+type MapScenario struct {
+	ID     wmap.MapID
+	Region Region
+	Seed   int64
+
+	// Initial topology sizing (at Scenario.Start).
+	Routers       int // routers generated for this map (excluding borrowed)
+	InternalLinks int
+	ExternalLinks int
+	// EdgeFraction is the share of routers attached by a single link; the
+	// paper observes >20 % of Europe routers with degree 1.
+	EdgeFraction float64
+
+	// Borrow imports routers from other maps: the World map consists
+	// entirely of such routers, and regional maps show a few remote ends.
+	// Borrowed routers are wired into this map's topology like local ones
+	// and explain Table 1's dedup between per-map and total rows. The
+	// simulator resolves names from stable (never-removed) routers of the
+	// source map, so borrow sources must be built first.
+	Borrow map[wmap.MapID]int
+
+	// ScriptedPeerings are placed before random peerings so scenario events
+	// can target them (the AMS-IX upgrade study). Each gets the given
+	// number of initial parallels.
+	ScriptedPeerings map[string]int
+
+	Events []Event
+}
+
+// UpgradeStudy captures the Figure 6 case-study parameters: a link is added
+// (A), PeeringDB is updated (B), and the link is activated (C).
+type UpgradeStudy struct {
+	MapID       wmap.MapID
+	Peering     string
+	Added       time.Time // arrow A
+	DBUpdated   time.Time // arrow B
+	Activated   time.Time // arrow C
+	GbpsBefore  int
+	GbpsAfter   int
+	LinksBefore int
+}
+
+// Scenario is a full multi-map simulation configuration.
+type Scenario struct {
+	Start, End time.Time
+	Step       time.Duration
+	Maps       []MapScenario
+	Traffic    TrafficParams
+	Upgrade    UpgradeStudy
+}
+
+// MapScenario returns the configuration of the given map.
+func (s *Scenario) MapScenario(id wmap.MapID) (MapScenario, bool) {
+	for _, m := range s.Maps {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return MapScenario{}, false
+}
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// DefaultScenario reproduces the timeline the paper observes between July
+// 2020 and September 2022:
+//
+//   - Europe: 113 routers / 744 internal / 265 external links on 2022-09-12
+//     (Table 1), with +10 routers Aug–Sep 2020, −4 shortly after, −4 in June
+//     2021, a brief dip in August 2021 (Figure 4a); stepwise internal link
+//     growth with a large November 2021 step and gradual external growth
+//     (Figure 4b); and the AMS-IX link upgrade of March 2022 (Figure 6).
+//   - World: 16 routers / 76 internal / 0 external links, all routers
+//     borrowed from the regional maps.
+//   - North America: 60 / 407 / 214; Asia Pacific: 23 / 96 / 39.
+//
+// The per-map router counts sum to 212 while the distinct total is 181,
+// matching Table 1's dedup of routers appearing in several maps.
+func DefaultScenario() Scenario {
+	start := date(2020, time.July, 1)
+	end := date(2022, time.September, 12)
+
+	europe := MapScenario{
+		ID:            wmap.Europe,
+		Region:        RegionEurope,
+		Seed:          0xE0,
+		Routers:       111,
+		InternalLinks: 660,
+		ExternalLinks: 220,
+		EdgeFraction:  0.24,
+		ScriptedPeerings: map[string]int{
+			"AMS-IX": 4, // 4×100 Gbps before the upgrade
+		},
+		Events: []Event{
+			{Time: date(2020, time.August, 5), Kind: AddRouters, Count: 6, Parallels: 2, Note: "make-before-break batch 1"},
+			{Time: date(2020, time.September, 10), Kind: AddRouters, Count: 4, Parallels: 2, Note: "make-before-break batch 2"},
+			{Time: date(2020, time.October, 2), Kind: RemoveRouters, Count: 4, Note: "decommission replaced routers"},
+			{Time: date(2021, time.January, 12), Kind: AddInternalLinks, Count: 12, Note: "core upgrade"},
+			{Time: date(2021, time.April, 6), Kind: AddInternalLinks, Count: 8, Note: "core upgrade"},
+			{Time: date(2021, time.June, 15), Kind: RemoveRouters, Count: 4, Note: "decommission"},
+			{Time: date(2021, time.July, 20), Kind: AddInternalLinks, Count: 8, Note: "core upgrade"},
+			{Time: date(2021, time.August, 9), Kind: RemoveRouters, Count: 4, Note: "maintenance window"},
+			{Time: date(2021, time.August, 23), Kind: RestoreRouters, Note: "maintenance end"},
+			{Time: date(2021, time.November, 8), Kind: AddInternalLinks, Count: 36, Note: "major core expansion"},
+			{Time: date(2022, time.February, 15), Kind: AddInternalLinks, Count: 8, Note: "core upgrade"},
+			{Time: date(2022, time.March, 3), Kind: AddInactiveParallel, Peering: "AMS-IX", Note: "upgrade arrow A"},
+			{Time: date(2022, time.March, 17), Kind: ActivateLinks, Peering: "AMS-IX", Note: "upgrade arrow C"},
+			{Time: date(2022, time.May, 10), Kind: AddInternalLinks, Count: 8, Note: "core upgrade"},
+		},
+	}
+	// Gradual external link growth: 25 monthly additions (March 2022 is the
+	// scripted AMS-IX event instead) totalling +44; with the AMS-IX parallel
+	// the map ends at 220+45 = 265 external links.
+	external := 0
+	for i := 0; i < 26; i++ {
+		t := date(2020, time.August, 3).AddDate(0, i, 0)
+		if t.Year() == 2022 && t.Month() == time.March {
+			continue
+		}
+		n := 2
+		if i%4 == 2 { // 6 of the 25 months get +1 instead of +2
+			n = 1
+		}
+		external += n
+		europe.Events = append(europe.Events, Event{
+			Time: t, Kind: AddExternalLinks, Count: n, Note: "new peering capacity",
+		})
+	}
+	_ = external // 44 by construction; asserted in tests
+
+	na := MapScenario{
+		ID:            wmap.NorthAmerica,
+		Region:        RegionNorthAmerica,
+		Seed:          0xA0,
+		Routers:       46,
+		InternalLinks: 380,
+		ExternalLinks: 190,
+		EdgeFraction:  0.22,
+		Borrow:        map[wmap.MapID]int{wmap.Europe: 10},
+		Events: []Event{
+			{Time: date(2021, time.February, 9), Kind: AddRouters, Count: 2, Parallels: 3, Note: "expansion"},
+			{Time: date(2021, time.November, 16), Kind: AddInternalLinks, Count: 9, Note: "core upgrade"},
+			{Time: date(2021, time.December, 7), Kind: AddRouters, Count: 2, Parallels: 3, Note: "expansion"},
+			{Time: date(2022, time.May, 24), Kind: AddInternalLinks, Count: 6, Note: "core upgrade"},
+		},
+	}
+	for i := 0; i < 24; i++ {
+		na.Events = append(na.Events, Event{
+			Time: date(2020, time.September, 14).AddDate(0, i, 0),
+			Kind: AddExternalLinks, Count: 1, Note: "new peering capacity",
+		})
+	}
+
+	apac := MapScenario{
+		ID:            wmap.AsiaPacific,
+		Region:        RegionAsiaPacific,
+		Seed:          0xAC,
+		Routers:       16,
+		InternalLinks: 84,
+		ExternalLinks: 33,
+		EdgeFraction:  0.2,
+		Borrow:        map[wmap.MapID]int{wmap.Europe: 5},
+		Events: []Event{
+			{Time: date(2021, time.September, 21), Kind: AddRouters, Count: 2, Parallels: 3, Note: "expansion"},
+			{Time: date(2021, time.November, 30), Kind: AddInternalLinks, Count: 6, Note: "core upgrade"},
+		},
+	}
+	for i := 0; i < 6; i++ {
+		apac.Events = append(apac.Events, Event{
+			Time: date(2020, time.October, 19).AddDate(0, 4*i, 0),
+			Kind: AddExternalLinks, Count: 1, Note: "new peering capacity",
+		})
+	}
+
+	world := MapScenario{
+		ID:            wmap.World,
+		Region:        RegionEurope, // unused: all routers borrowed
+		Seed:          0x30,
+		Routers:       0,
+		InternalLinks: 70,
+		ExternalLinks: 0,
+		Borrow: map[wmap.MapID]int{
+			wmap.Europe:       6,
+			wmap.NorthAmerica: 6,
+			wmap.AsiaPacific:  4,
+		},
+		Events: []Event{
+			{Time: date(2021, time.November, 22), Kind: AddInternalLinks, Count: 6, Note: "intercontinental capacity"},
+		},
+	}
+
+	return Scenario{
+		Start:   start,
+		End:     end,
+		Step:    5 * time.Minute,
+		Maps:    []MapScenario{europe, world, na, apac},
+		Traffic: DefaultTrafficParams(),
+		Upgrade: UpgradeStudy{
+			MapID:       wmap.Europe,
+			Peering:     "AMS-IX",
+			Added:       date(2022, time.March, 3),
+			DBUpdated:   date(2022, time.March, 12),
+			Activated:   date(2022, time.March, 17),
+			GbpsBefore:  400,
+			GbpsAfter:   500,
+			LinksBefore: 4,
+		},
+	}
+}

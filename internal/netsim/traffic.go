@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"math"
+	"time"
+)
+
+// TrafficParams tunes the synthetic load model. The defaults reproduce the
+// shapes the paper reports: a diurnal median with its minimum between 2 and
+// 4 a.m. and maximum between 7 and 9 p.m. (Figure 5a), 75 % of loads below
+// 33 % with very few above 60 % and external links loaded less than internal
+// ones (Figure 5b), and parallel-link imbalances mostly within 1 % — tighter
+// on external links (Figure 5c).
+type TrafficParams struct {
+	// Internal per-link base load draw: Base + Range*u^Shape percent.
+	InternalBase, InternalRange, InternalShape float64
+	// External per-link base load draw.
+	ExternalBase, ExternalRange, ExternalShape float64
+	// HotFraction of internal groups get an extra HotBoost of base load,
+	// producing the rare >60 % readings.
+	HotFraction, HotBoost float64
+	// GroupNoise is the amplitude of the slow per-group demand fluctuation.
+	GroupNoise float64
+	// InternalJitter and ExternalJitter are the relative per-link ECMP
+	// residuals; external spreading is tighter in the paper's data.
+	InternalJitter, ExternalJitter float64
+	// WeekendFactor scales demand on Saturdays and Sundays.
+	WeekendFactor float64
+	// AnnualGrowth is the multiplicative demand growth per year.
+	AnnualGrowth float64
+}
+
+// DefaultTrafficParams returns the calibrated defaults.
+func DefaultTrafficParams() TrafficParams {
+	return TrafficParams{
+		InternalBase: 11, InternalRange: 28, InternalShape: 1.4,
+		ExternalBase: 6, ExternalRange: 20, ExternalShape: 1.7,
+		HotFraction: 0.06, HotBoost: 24,
+		GroupNoise:     0.09,
+		InternalJitter: 0.026,
+		ExternalJitter: 0.012,
+		WeekendFactor:  0.92,
+		AnnualGrowth:   0.08,
+	}
+}
+
+// diurnalAnchors trace the daily demand profile: trough between 2 and 4
+// a.m., peak between 7 and 9 p.m., as the paper's Figure 5a reports for the
+// Europe map. Values are multiplicative factors around a ~0.95 daily mean.
+var diurnalAnchors = []struct {
+	hour   float64
+	factor float64
+}{
+	{0, 0.82}, {2, 0.72}, {3, 0.70}, {4, 0.72}, {6, 0.80}, {9, 0.95},
+	{12, 1.02}, {15, 1.08}, {18, 1.18}, {20, 1.25}, {22, 1.02},
+}
+
+// Diurnal returns the demand factor at the given time of day, interpolating
+// the anchor profile with cosine smoothing and wrapping at midnight.
+func Diurnal(t time.Time) float64 {
+	h := float64(t.Hour()) + float64(t.Minute())/60 + float64(t.Second())/3600
+	n := len(diurnalAnchors)
+	for i := 0; i < n; i++ {
+		a := diurnalAnchors[i]
+		var b struct {
+			hour   float64
+			factor float64
+		}
+		if i+1 < n {
+			b = diurnalAnchors[i+1]
+		} else {
+			b = diurnalAnchors[0]
+			b.hour += 24
+		}
+		if h >= a.hour && h < b.hour {
+			u := (h - a.hour) / (b.hour - a.hour)
+			w := (1 - math.Cos(math.Pi*u)) / 2
+			return a.factor + (b.factor-a.factor)*w
+		}
+	}
+	return diurnalAnchors[0].factor
+}
+
+// weekday returns the weekend demand factor for t.
+func (p TrafficParams) weekday(t time.Time) float64 {
+	switch t.Weekday() {
+	case time.Saturday, time.Sunday:
+		return p.WeekendFactor
+	}
+	return 1
+}
+
+// growth returns the long-run demand growth factor at t relative to start.
+func (p TrafficParams) growth(t, start time.Time) float64 {
+	years := t.Sub(start).Hours() / (24 * 365.25)
+	if years < 0 {
+		years = 0
+	}
+	return 1 + p.AnnualGrowth*years
+}
+
+// splitmix64 is the avalanche mixer used to derive deterministic noise from
+// (seed, time) pairs without any shared state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit01 maps (seed, bucket) to a uniform float in [0, 1).
+func unit01(seed uint64, bucket int64) float64 {
+	h := splitmix64(seed ^ splitmix64(uint64(bucket)))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// gauss01 maps (seed, bucket) to an approximately standard normal value
+// using the sum of three uniforms (Irwin–Hall), which is plenty for load
+// jitter and avoids trig in the hot path.
+func gauss01(seed uint64, bucket int64) float64 {
+	s := unit01(seed, bucket) + unit01(seed^0x5bd1e995, bucket) + unit01(seed^0x27d4eb2f, bucket)
+	return (s - 1.5) * 2 // variance ≈ 1
+}
+
+// smoothNoise interpolates hash noise between hourly buckets so group
+// demand drifts smoothly instead of jumping every five minutes.
+func smoothNoise(seed uint64, t time.Time) float64 {
+	const bucket = time.Hour
+	b := t.UnixNano() / int64(bucket)
+	frac := float64(t.UnixNano()%int64(bucket)) / float64(bucket)
+	a := gauss01(seed, b)
+	c := gauss01(seed, b+1)
+	w := (1 - math.Cos(math.Pi*frac)) / 2
+	return a + (c-a)*w
+}

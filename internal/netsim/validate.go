@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"ovhweather/internal/wmap"
+)
+
+// Validate checks a scenario for the configuration mistakes that would
+// otherwise only surface deep inside a simulation run: empty or inverted
+// time ranges, maps without routers, negative sizing, unresolvable borrow
+// references, events outside the simulated range, and upgrade-study
+// references to peerings no map scripts. It returns all problems found,
+// joined.
+func (s *Scenario) Validate() error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	if !s.Start.Before(s.End) {
+		bad("netsim: scenario range [%s, %s] is empty or inverted", s.Start, s.End)
+	}
+	if s.Step <= 0 {
+		bad("netsim: non-positive step %v", s.Step)
+	}
+	if len(s.Maps) == 0 {
+		bad("netsim: scenario has no maps")
+	}
+
+	ids := make(map[wmap.MapID]bool, len(s.Maps))
+	for _, m := range s.Maps {
+		if ids[m.ID] {
+			bad("netsim: map %s configured twice", m.ID)
+		}
+		ids[m.ID] = true
+	}
+	for _, m := range s.Maps {
+		borrowed := 0
+		for src, n := range m.Borrow {
+			if src == m.ID {
+				bad("netsim: map %s borrows from itself", m.ID)
+			}
+			if !ids[src] {
+				bad("netsim: map %s borrows from unknown map %s", m.ID, src)
+			}
+			if n <= 0 {
+				bad("netsim: map %s borrows %d routers from %s", m.ID, n, src)
+			}
+			borrowed += n
+		}
+		if m.Routers < 0 || m.InternalLinks < 0 || m.ExternalLinks < 0 {
+			bad("netsim: map %s has negative sizing", m.ID)
+		}
+		if m.Routers+borrowed < 2 {
+			bad("netsim: map %s has fewer than 2 routers", m.ID)
+		}
+		if m.EdgeFraction < 0 || m.EdgeFraction >= 1 {
+			bad("netsim: map %s edge fraction %v outside [0, 1)", m.ID, m.EdgeFraction)
+		}
+		for i, ev := range m.Events {
+			// Events after End simply never fire (a truncated run is a
+			// normal way to preview a scenario); events before Start would
+			// silently collapse into the initial state, which is a mistake.
+			if ev.Time.Before(s.Start) {
+				bad("netsim: map %s event %d (%s) at %s precedes the scenario start", m.ID, i, ev.Kind, ev.Time)
+			}
+			switch ev.Kind {
+			case AddRouters, RemoveRouters, AddInternalLinks, AddExternalLinks:
+				if ev.Count <= 0 {
+					bad("netsim: map %s event %d (%s) has count %d", m.ID, i, ev.Kind, ev.Count)
+				}
+			case AddInactiveParallel, ActivateLinks:
+				if ev.Peering == "" {
+					bad("netsim: map %s event %d (%s) names no peering", m.ID, i, ev.Kind)
+				}
+				if _, scripted := m.ScriptedPeerings[ev.Peering]; !scripted {
+					bad("netsim: map %s event %d targets unscripted peering %q", m.ID, i, ev.Peering)
+				}
+			}
+		}
+	}
+
+	if s.Upgrade.Peering != "" {
+		msc, ok := s.MapScenario(s.Upgrade.MapID)
+		if !ok {
+			bad("netsim: upgrade study references unknown map %s", s.Upgrade.MapID)
+		} else if _, scripted := msc.ScriptedPeerings[s.Upgrade.Peering]; !scripted {
+			bad("netsim: upgrade study peering %q is not scripted on map %s", s.Upgrade.Peering, s.Upgrade.MapID)
+		}
+		if !s.Upgrade.Added.Before(s.Upgrade.Activated) {
+			bad("netsim: upgrade study activation does not follow the addition")
+		}
+		if s.Upgrade.GbpsAfter <= s.Upgrade.GbpsBefore {
+			bad("netsim: upgrade study capacity does not increase (%d -> %d)", s.Upgrade.GbpsBefore, s.Upgrade.GbpsAfter)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,165 @@
+// Package peeringdb provides a miniature stand-in for the PeeringDB
+// interconnection database, sufficient for the paper's link-upgrade case
+// study (Figure 6): it records the announced capacity of peering sessions
+// over time, so that a capacity increase observed on the weather map can be
+// cross-validated against the database update that announced it.
+//
+// PeeringDB proper is a public registry where networks self-report their
+// presence at internet exchanges, including port capacities; the paper uses
+// it to confirm that the AMS-IX load drop of March 2022 matches a 400 to
+// 500 Gbps upgrade. This package models just that slice: per-peering
+// capacity records with update timestamps and history.
+package peeringdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record is one capacity announcement for a peering.
+type Record struct {
+	Peering string    `json:"peering"` // e.g. "AMS-IX"
+	Network string    `json:"network"` // announcing network, e.g. "OVH"
+	Gbps    int       `json:"gbps"`    // announced total capacity
+	Updated time.Time `json:"updated"` // announcement time
+	Comment string    `json:"comment,omitempty"`
+}
+
+// DB is an in-memory capacity registry with full history. It is safe for
+// concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	history map[string][]Record // peering -> records sorted by Updated
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{history: make(map[string][]Record)}
+}
+
+// Announce appends a capacity record. Records may arrive out of order;
+// history stays sorted by update time.
+func (db *DB) Announce(rec Record) error {
+	if rec.Peering == "" {
+		return fmt.Errorf("peeringdb: record without peering name")
+	}
+	if rec.Gbps <= 0 {
+		return fmt.Errorf("peeringdb: non-positive capacity %d for %s", rec.Gbps, rec.Peering)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	h := append(db.history[rec.Peering], rec)
+	sort.SliceStable(h, func(i, j int) bool { return h[i].Updated.Before(h[j].Updated) })
+	db.history[rec.Peering] = h
+	return nil
+}
+
+// CapacityAt returns the capacity announced for the peering as of time t.
+// ok is false when no record predates t.
+func (db *DB) CapacityAt(peering string, t time.Time) (gbps int, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	h := db.history[peering]
+	for i := len(h) - 1; i >= 0; i-- {
+		if !h[i].Updated.After(t) {
+			return h[i].Gbps, true
+		}
+	}
+	return 0, false
+}
+
+// History returns the peering's full announcement history in chronological
+// order. The slice is a copy.
+func (db *DB) History(peering string) []Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]Record(nil), db.history[peering]...)
+}
+
+// Peerings lists the registered peering names in lexicographic order.
+func (db *DB) Peerings() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.history))
+	for n := range db.history {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Upgrade describes a detected capacity change in the database.
+type Upgrade struct {
+	Peering    string
+	Announced  time.Time
+	GbpsBefore int
+	GbpsAfter  int
+}
+
+// UpgradesBetween returns every capacity change announced within [from, to]
+// across all peerings, in chronological order.
+func (db *DB) UpgradesBetween(from, to time.Time) []Upgrade {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Upgrade
+	for name, h := range db.history {
+		for i := 1; i < len(h); i++ {
+			if h[i].Gbps == h[i-1].Gbps {
+				continue
+			}
+			if h[i].Updated.Before(from) || h[i].Updated.After(to) {
+				continue
+			}
+			out = append(out, Upgrade{
+				Peering:    name,
+				Announced:  h[i].Updated,
+				GbpsBefore: h[i-1].Gbps,
+				GbpsAfter:  h[i].Gbps,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Announced.Equal(out[j].Announced) {
+			return out[i].Announced.Before(out[j].Announced)
+		}
+		return out[i].Peering < out[j].Peering
+	})
+	return out
+}
+
+// WriteJSON serializes the full database.
+func (db *DB) WriteJSON(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var all []Record
+	names := make([]string, 0, len(db.history))
+	for n := range db.history {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		all = append(all, db.history[n]...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(all)
+}
+
+// ReadJSON loads a database serialized by WriteJSON.
+func ReadJSON(r io.Reader) (*DB, error) {
+	var all []Record
+	if err := json.NewDecoder(r).Decode(&all); err != nil {
+		return nil, fmt.Errorf("peeringdb: %w", err)
+	}
+	db := New()
+	for _, rec := range all {
+		if err := db.Announce(rec); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

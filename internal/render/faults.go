@@ -1,0 +1,143 @@
+package render
+
+import (
+	"io"
+
+	"ovhweather/internal/svg"
+	"ovhweather/internal/wmap"
+)
+
+// FaultKind enumerates the corruption modes the paper observes in real
+// snapshots it could not process.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultNone renders a healthy document.
+	FaultNone FaultKind = iota
+	// FaultMalformedAttribute injects an element with a malformed attribute
+	// value ("some SVG files to be invalid, e.g., with malformed attribute
+	// values").
+	FaultMalformedAttribute
+	// FaultMissingRouters drops the router boxes from the document ("some
+	// SVG files are lacking elements, such as OVH routers, resulting in a
+	// failure to find intersections for a given link").
+	FaultMissingRouters
+	// FaultTruncated cuts the document mid-way, as an interrupted download
+	// would.
+	FaultTruncated
+	// FaultShiftedLabels displaces every label box far from its link end,
+	// breaking the attribution distance threshold — the failure class the
+	// paper's "few pixels" assertion exists to catch.
+	FaultShiftedLabels
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultMalformedAttribute:
+		return "malformed-attribute"
+	case FaultMissingRouters:
+		return "missing-routers"
+	case FaultTruncated:
+		return "truncated"
+	case FaultShiftedLabels:
+		return "shifted-labels"
+	default:
+		return "unknown"
+	}
+}
+
+// WriteFaultySVG renders the scene with the given corruption applied. It is
+// used by the dataset generator to reproduce the paper's small population of
+// unprocessable files (fewer than a hundred per map out of >100,000).
+func WriteFaultySVG(w io.Writer, sc *Scene, m *wmap.Map, kind FaultKind) error {
+	switch kind {
+	case FaultNone:
+		return WriteSVG(w, sc, m)
+	case FaultMalformedAttribute:
+		return writeWithMalformedAttribute(w, sc, m)
+	case FaultMissingRouters:
+		return writeWithoutRouters(w, sc, m)
+	case FaultTruncated:
+		return writeTruncated(w, sc, m)
+	case FaultShiftedLabels:
+		return writeShiftedLabels(w, sc, m)
+	default:
+		return WriteSVG(w, sc, m)
+	}
+}
+
+// writeShiftedLabels renders a document whose label boxes have slid along
+// their link lines, beyond the attribution threshold.
+func writeShiftedLabels(w io.Writer, sc *Scene, m *wmap.Map) error {
+	shifted := *sc
+	shifted.Links = make([]PlacedLink, len(sc.Links))
+	copy(shifted.Links, sc.Links)
+	for i := range shifted.Links {
+		pl := &shifted.Links[i]
+		dir := pl.ArrowA.ArrowTipDir()
+		pl.LabelA = placeLabel(pl.Link.LabelA, pl.PortA, dir, 120)
+		dirB := pl.ArrowB.ArrowTipDir()
+		pl.LabelB = placeLabel(pl.Link.LabelB, pl.PortB, dirB, 120)
+	}
+	return WriteSVG(w, &shifted, m)
+}
+
+func writeWithMalformedAttribute(w io.Writer, sc *Scene, m *wmap.Map) error {
+	sw := svg.NewWriter(w, sc.Width, sc.Height)
+	// One poisoned rect up front, then the normal body.
+	sw.Raw("<rect class=\"node\" x=\"NaNpx,\" y=\"12\" width=\"bogus\" height=\"9\"/>\n")
+	writeBody(sw, sc, m, true)
+	return sw.Close()
+}
+
+func writeWithoutRouters(w io.Writer, sc *Scene, m *wmap.Map) error {
+	sw := svg.NewWriter(w, sc.Width, sc.Height)
+	writeBody(sw, sc, m, false)
+	return sw.Close()
+}
+
+func writeTruncated(w io.Writer, sc *Scene, m *wmap.Map) error {
+	sw := svg.NewWriter(w, sc.Width, sc.Height)
+	half := len(sc.Links) / 2
+	for i := 0; i < half; i++ {
+		writeLink(sw, &sc.Links[i], m.Links[i])
+	}
+	// Stop abruptly: no node boxes, no closing tag.
+	return sw.Flush()
+}
+
+// writeBody emits the standard document body, optionally with node boxes.
+func writeBody(sw *svg.Writer, sc *Scene, m *wmap.Map, withNodes bool) {
+	for i := range sc.Links {
+		writeLink(sw, &sc.Links[i], m.Links[i])
+	}
+	if !withNodes {
+		return
+	}
+	for i := range sc.Nodes {
+		pn := &sc.Nodes[i]
+		class := "object router"
+		if pn.Node.Kind == wmap.Peering {
+			class = "object peering"
+		}
+		sw.BeginGroup(class)
+		sw.Rect(pn.Box, "", "#ffffff")
+		sw.Text(namePos(pn), "", pn.Node.Name)
+		sw.EndGroup()
+	}
+}
+
+func writeLink(sw *svg.Writer, pl *PlacedLink, l wmap.Link) {
+	sw.Polygon(pl.ArrowA, "link", loadColor(l.LoadAB))
+	sw.Polygon(pl.ArrowB, "link", loadColor(l.LoadBA))
+	sw.Text(pl.LoadPosA, "labellink", l.LoadAB.String())
+	sw.Text(pl.LoadPosB, "labellink", l.LoadBA.String())
+	sw.Rect(pl.LabelA.Box, "node", "#ffffff")
+	sw.Text(pl.LabelA.Pos, "node", pl.LabelA.Text)
+	sw.Rect(pl.LabelB.Box, "node", "#ffffff")
+	sw.Text(pl.LabelB.Pos, "node", pl.LabelB.Text)
+}

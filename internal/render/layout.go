@@ -1,0 +1,488 @@
+// Package render draws wmap snapshots as SVG documents with the same flat
+// structure as the OVH Network Weathermap: router and peering boxes under
+// "object" groups, bidirectional links as pairs of polygon arrows followed
+// by their two "labellink" load percentages, and per-end "node" label boxes
+// whose relationship to links exists only geometrically.
+//
+// The real weather map is laid out by hand; this package automates layout
+// under the constraints Algorithm 2 of the paper relies on: the straight
+// line through a link's two arrow bases must intersect both endpoint boxes
+// and both label boxes, the closest intersected router box to an end must
+// be the true endpoint, and the closest intersected label box must be the
+// end's own label. A deterministic feasibility pass verifies the label
+// constraint (the router constraint holds by construction: arrow bases sit
+// inside their own box, and distinct boxes never touch) and nudges the few
+// ambiguous labels until every end attributes correctly.
+package render
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ovhweather/internal/geom"
+	"ovhweather/internal/wmap"
+)
+
+// Options tunes the layout. Zero values select defaults.
+type Options struct {
+	CellMargin  float64 // free space around the largest box in a grid cell
+	PortSpacing float64 // minimum distance between link ports on a box
+	PortInset   float64 // how far ports sit inside the box boundary
+	LabelDist   float64 // distance from a port to its label box center
+	ArrowHalfW  float64 // arrow head half-width
+}
+
+func (o Options) withDefaults() Options {
+	if o.CellMargin == 0 {
+		o.CellMargin = 50
+	}
+	if o.PortSpacing == 0 {
+		o.PortSpacing = 20
+	}
+	if o.PortInset == 0 {
+		o.PortInset = 0.8
+	}
+	if o.LabelDist == 0 {
+		o.LabelDist = 9
+	}
+	if o.ArrowHalfW == 0 {
+		o.ArrowHalfW = 3
+	}
+	return o
+}
+
+// Scene is the geometric realization of a map snapshot, ready to be written
+// as SVG and rich enough to serve as ground truth in round-trip tests.
+type Scene struct {
+	Map    *wmap.Map
+	Width  float64
+	Height float64
+	Nodes  []PlacedNode
+	Links  []PlacedLink
+}
+
+// PlacedNode is a node box with its display name.
+type PlacedNode struct {
+	Node wmap.Node
+	Box  geom.Rect
+}
+
+// PlacedLink is one bidirectional link realized as two arrows, two load
+// texts and two label boxes.
+type PlacedLink struct {
+	Link     wmap.Link
+	ArrowA   geom.Polygon // arrow from A's port toward the middle
+	ArrowB   geom.Polygon // arrow from B's port toward the middle
+	PortA    geom.Point   // base of ArrowA, just inside A's box boundary
+	PortB    geom.Point
+	LoadPosA geom.Point // anchor of the "NN %" text for the A→B direction
+	LoadPosB geom.Point
+	LabelA   PlacedLabel
+	LabelB   PlacedLabel
+}
+
+// PlacedLabel is a link-end label box and its text.
+type PlacedLabel struct {
+	Text string
+	Box  geom.Rect
+	Pos  geom.Point // text anchor
+}
+
+// linkEnd identifies one end of one link during layout.
+type linkEnd struct {
+	link int  // index into Map.Links
+	atA  bool // true when this end attaches to Link.A
+}
+
+// Layout places a snapshot. It is deterministic for a given map and
+// options. An error is returned when the feasibility pass cannot make every
+// link end attributable (which does not happen for simulator-generated maps
+// at default options; it guards hand-built pathological inputs).
+func Layout(m *wmap.Map, opt Options) (*Scene, error) {
+	opt = opt.withDefaults()
+	sc, err := layout(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.resolveLabelConflicts(opt); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// layout performs placement without the conflict-resolution pass.
+func layout(m *wmap.Map, opt Options) (*Scene, error) {
+	sc := &Scene{Map: m}
+
+	nodeIdx := make(map[string]int, len(m.Nodes))
+	ends := make(map[string][]linkEnd, len(m.Nodes))
+	for i, l := range m.Links {
+		ends[l.A] = append(ends[l.A], linkEnd{link: i, atA: true})
+		ends[l.B] = append(ends[l.B], linkEnd{link: i, atA: false})
+	}
+
+	// Box sizing and placement run in two passes. Pass one sizes boxes from
+	// names alone and places them on the grid to learn, for every node,
+	// which box edge each link end will face. Pass two resizes each box so
+	// every edge can host its port demand at full spacing, re-places the
+	// grid, and recomputes the facing edges. Demand shifts slightly between
+	// passes (angles move as boxes grow); spreadAlong absorbs any residue
+	// by local compression.
+	boxes := make([]geom.Rect, len(m.Nodes))
+	for i, n := range m.Nodes {
+		boxes[i] = geom.RectFromXYWH(0, 0, 14+7*float64(len(n.Name)), 18)
+		nodeIdx[n.Name] = i
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(len(m.Nodes)))))
+	if cols < 1 {
+		cols = 1
+	}
+	placeGrid(boxes, cols, opt)
+	demand := edgeDemand(m, boxes, nodeIdx, ends)
+	for i, n := range m.Nodes {
+		d := demand[i]
+		horiz := math.Max(float64(d[edgeTop]), float64(d[edgeBottom]))
+		vert := math.Max(float64(d[edgeLeft]), float64(d[edgeRight]))
+		w := math.Max(14+7*float64(len(n.Name)), (horiz+1)*opt.PortSpacing)
+		h := math.Max(18, (vert+1)*opt.PortSpacing)
+		boxes[i] = geom.RectFromXYWH(0, 0, w, h)
+	}
+	placeGrid(boxes, cols, opt)
+	for i := range m.Nodes {
+		sc.Nodes = append(sc.Nodes, PlacedNode{Node: m.Nodes[i], Box: boxes[i]})
+	}
+	var maxW, maxH float64
+	for _, b := range boxes {
+		maxW = math.Max(maxW, b.W())
+		maxH = math.Max(maxH, b.H())
+	}
+	rows := (len(m.Nodes) + cols - 1) / cols
+	sc.Width = float64(cols) * (maxW + opt.CellMargin)
+	sc.Height = float64(rows) * (maxH + opt.CellMargin)
+
+	// Port assignment per node: each link end gets a port on the box edge
+	// facing the link's other endpoint, so that rows of ports (and their
+	// label boxes) run perpendicular to the outgoing lines — a port row
+	// collinear with a link line would put neighbouring labels exactly on
+	// that line and defeat geometric attribution. Ports are inset slightly
+	// inside the boundary so coordinate rounding in the SVG cannot push
+	// them outside their box.
+	ports := make([][2]geom.Point, len(m.Links))
+	for name, list := range ends {
+		ni := nodeIdx[name]
+		inner := boxes[ni].Inflate(-opt.PortInset)
+		c := boxes[ni].Center()
+		type portReq struct {
+			end   linkEnd
+			coord float64 // ideal coordinate along the facing edge
+		}
+		perEdge := make(map[int][]portReq, 4)
+		for _, e := range list {
+			other := m.Links[e.link].B
+			if !e.atA {
+				other = m.Links[e.link].A
+			}
+			oc := boxes[nodeIdx[other]].Center()
+			ang := math.Atan2(oc.Y-c.Y, oc.X-c.X)
+			hit, _ := inner.BoundaryToward(ang)
+			edge := edgeOf(inner, hit)
+			coord := hit.X
+			if edge == edgeLeft || edge == edgeRight {
+				coord = hit.Y
+			}
+			perEdge[edge] = append(perEdge[edge], portReq{end: e, coord: coord})
+		}
+		for edge, reqs := range perEdge {
+			sort.Slice(reqs, func(i, j int) bool {
+				if reqs[i].coord != reqs[j].coord {
+					return reqs[i].coord < reqs[j].coord
+				}
+				if reqs[i].end.link != reqs[j].end.link {
+					return reqs[i].end.link < reqs[j].end.link
+				}
+				return reqs[i].end.atA && !reqs[j].end.atA
+			})
+			lo, hi := inner.Min.X+4, inner.Max.X-4
+			if edge == edgeLeft || edge == edgeRight {
+				lo, hi = inner.Min.Y+4, inner.Max.Y-4
+			}
+			ideal := make([]float64, len(reqs))
+			for i := range reqs {
+				ideal[i] = reqs[i].coord
+			}
+			pos := spreadAlong(ideal, lo, hi, opt.PortSpacing)
+			for i, r := range reqs {
+				var pt geom.Point
+				switch edge {
+				case edgeTop:
+					pt = geom.Pt(pos[i], inner.Min.Y)
+				case edgeBottom:
+					pt = geom.Pt(pos[i], inner.Max.Y)
+				case edgeLeft:
+					pt = geom.Pt(inner.Min.X, pos[i])
+				default:
+					pt = geom.Pt(inner.Max.X, pos[i])
+				}
+				if r.end.atA {
+					ports[r.end.link][0] = pt
+				} else {
+					ports[r.end.link][1] = pt
+				}
+			}
+		}
+	}
+
+	// Realize arrows, loads and labels.
+	sc.Links = make([]PlacedLink, len(m.Links))
+	for i, l := range m.Links {
+		sc.Links[i] = placeLink(l, ports[i][0], ports[i][1], opt)
+	}
+	return sc, nil
+}
+
+// placeLink realizes one link between two ports.
+func placeLink(l wmap.Link, pa, pb geom.Point, opt Options) PlacedLink {
+	dir := geom.Seg(pa, pb).Dir()
+	mid := geom.Mid(pa, pb)
+	gap := opt.ArrowHalfW // small gap between the two meeting arrow tips
+	tipA := geom.Pt(mid.X-dir.X*gap, mid.Y-dir.Y*gap)
+	tipB := geom.Pt(mid.X+dir.X*gap, mid.Y+dir.Y*gap)
+	pl := PlacedLink{
+		Link:   l,
+		PortA:  pa,
+		PortB:  pb,
+		ArrowA: arrowPolygon(pa, tipA, opt.ArrowHalfW),
+		ArrowB: arrowPolygon(pb, tipB, opt.ArrowHalfW),
+	}
+	pl.LoadPosA = geom.Seg(pa, tipA).PointAt(0.55)
+	pl.LoadPosB = geom.Seg(pb, tipB).PointAt(0.55)
+	pl.LabelA = placeLabel(l.LabelA, pa, dir, opt.LabelDist)
+	pl.LabelB = placeLabel(l.LabelB, pb, geom.Pt(-dir.X, -dir.Y), opt.LabelDist)
+	return pl
+}
+
+// placeLabel centers a label box on the link line at dist from the port.
+func placeLabel(text string, port, dir geom.Point, dist float64) PlacedLabel {
+	c := geom.Pt(port.X+dir.X*dist, port.Y+dir.Y*dist)
+	w := 2 + 4*float64(len(text))
+	h := 9.0
+	box := geom.Rect{Min: geom.Pt(c.X-w/2, c.Y-h/2), Max: geom.Pt(c.X+w/2, c.Y+h/2)}
+	return PlacedLabel{Text: text, Box: box, Pos: geom.Pt(box.Min.X+1, box.Max.Y-2)}
+}
+
+// arrowPolygon builds the triangular arrow with its base edge centered on
+// base and its tip at tip.
+func arrowPolygon(base, tip geom.Point, halfW float64) geom.Polygon {
+	d := tip.Sub(base)
+	n := d.Norm()
+	if n == 0 {
+		return geom.Polygon{base, tip}
+	}
+	perp := geom.Pt(-d.Y/n, d.X/n).Scale(halfW)
+	return geom.Polygon{base.Add(perp), base.Sub(perp), tip}
+}
+
+// CloserLabel reports whether candidate box a beats box b for attribution
+// to a link end at pt: smaller distance first, then the deterministic
+// coordinate tie-break the extraction pipeline applies.
+func CloserLabel(pt geom.Point, a, b geom.Rect) bool {
+	da, db := a.DistToPoint(pt), b.DistToPoint(pt)
+	if da != db {
+		return da < db
+	}
+	if a.Min.X != b.Min.X {
+		return a.Min.X < b.Min.X
+	}
+	return a.Min.Y < b.Min.Y
+}
+
+// resolveLabelConflicts runs the attribution feasibility check: for every
+// link end, among all label boxes intersecting the link's line, the winner
+// under CloserLabel must be the end's own label. Conflicted ends get their
+// label pulled closer to the port (its own distance shrinks toward zero,
+// beating any non-overlapping foreign label); residual ties are broken by
+// nudging outward instead.
+func (sc *Scene) resolveLabelConflicts(opt Options) error {
+	distSchedule := []float64{6, 4, 14, 20}
+	for round := 0; ; round++ {
+		conflicts := sc.labelConflicts()
+		if len(conflicts) == 0 {
+			return nil
+		}
+		if round == len(distSchedule) {
+			return fmt.Errorf("render: %d link ends remain ambiguous after %d adjustment rounds", len(conflicts), round)
+		}
+		for _, c := range conflicts {
+			pl := &sc.Links[c.link]
+			dist := distSchedule[round]
+			if c.atA {
+				dir := geom.Seg(pl.PortA, pl.PortB).Dir()
+				pl.LabelA = placeLabel(pl.Link.LabelA, pl.PortA, dir, dist)
+			} else {
+				dir := geom.Seg(pl.PortB, pl.PortA).Dir()
+				pl.LabelB = placeLabel(pl.Link.LabelB, pl.PortB, dir, dist)
+			}
+		}
+	}
+}
+
+// labelConflicts returns the link ends whose winning label under the
+// extraction ordering is not their own.
+func (sc *Scene) labelConflicts() []linkEnd {
+	type labelRef struct {
+		box geom.Rect
+		own int // link index
+		atA bool
+	}
+	labels := make([]labelRef, 0, 2*len(sc.Links))
+	for i := range sc.Links {
+		labels = append(labels,
+			labelRef{box: sc.Links[i].LabelA.Box, own: i, atA: true},
+			labelRef{box: sc.Links[i].LabelB.Box, own: i, atA: false})
+	}
+	var out []linkEnd
+	for i := range sc.Links {
+		pl := &sc.Links[i]
+		line := geom.LineThrough(pl.PortA, pl.PortB)
+		for _, end := range []struct {
+			pt  geom.Point
+			atA bool
+		}{{pl.PortA, true}, {pl.PortB, false}} {
+			best := -1
+			for li, lr := range labels {
+				if !lr.box.IntersectsLine(line) {
+					continue
+				}
+				if best < 0 || CloserLabel(end.pt, lr.box, labels[best].box) {
+					best = li
+				}
+			}
+			if best < 0 || labels[best].own != i || labels[best].atA != end.atA {
+				out = append(out, linkEnd{link: i, atA: end.atA})
+			}
+		}
+	}
+	return out
+}
+
+// placeGrid positions boxes on a square grid with uniform cells sized for
+// the largest box, adding deterministic jitter that breaks the exact
+// collinearity of grid rows (a perfectly straight row would let link lines
+// skewer every box in it).
+func placeGrid(boxes []geom.Rect, cols int, opt Options) {
+	var maxW, maxH float64
+	for _, b := range boxes {
+		maxW = math.Max(maxW, b.W())
+		maxH = math.Max(maxH, b.H())
+	}
+	cellW := maxW + opt.CellMargin
+	cellH := maxH + opt.CellMargin
+	jitterW := opt.CellMargin / 2.5
+	for i := range boxes {
+		row, col := i/cols, i%cols
+		jx := (float64(splitmix(uint64(i)*2+1)%1000)/1000 - 0.5) * jitterW
+		jy := (float64(splitmix(uint64(i)*2+2)%1000)/1000 - 0.5) * jitterW
+		cx := float64(col)*cellW + cellW/2 + jx
+		cy := float64(row)*cellH + cellH/2 + jy
+		b := boxes[i]
+		boxes[i] = geom.Rect{
+			Min: geom.Pt(cx-b.W()/2, cy-b.H()/2),
+			Max: geom.Pt(cx+b.W()/2, cy+b.H()/2),
+		}
+	}
+}
+
+// edgeDemand counts, for every node, how many link ends face each box edge
+// under the current placement.
+func edgeDemand(m *wmap.Map, boxes []geom.Rect, nodeIdx map[string]int, ends map[string][]linkEnd) map[int][4]int {
+	out := make(map[int][4]int, len(boxes))
+	for name, list := range ends {
+		ni := nodeIdx[name]
+		c := boxes[ni].Center()
+		var d [4]int
+		for _, e := range list {
+			other := m.Links[e.link].B
+			if !e.atA {
+				other = m.Links[e.link].A
+			}
+			oc := boxes[nodeIdx[other]].Center()
+			hit, _ := boxes[ni].BoundaryToward(math.Atan2(oc.Y-c.Y, oc.X-c.X))
+			d[edgeOf(boxes[ni], hit)]++
+		}
+		out[ni] = d
+	}
+	return out
+}
+
+// Edge identifiers for port placement.
+const (
+	edgeTop = iota
+	edgeRight
+	edgeBottom
+	edgeLeft
+)
+
+// edgeOf classifies a boundary point by the edge it lies on; corner points
+// resolve to the horizontal edge.
+func edgeOf(r geom.Rect, p geom.Point) int {
+	const eps = 1e-6
+	switch {
+	case math.Abs(p.Y-r.Min.Y) < eps:
+		return edgeTop
+	case math.Abs(p.Y-r.Max.Y) < eps:
+		return edgeBottom
+	case math.Abs(p.X-r.Min.X) < eps:
+		return edgeLeft
+	default:
+		return edgeRight
+	}
+}
+
+// spreadAlong distributes sorted ideal coordinates over [lo, hi] with a
+// minimum spacing, compressing uniformly when the interval is too short.
+func spreadAlong(ideal []float64, lo, hi, spacing float64) []float64 {
+	n := len(ideal)
+	if n == 0 {
+		return nil
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if need := float64(n-1) * spacing; need > hi-lo {
+		// Uniform compression over the full edge.
+		out := make([]float64, n)
+		if n == 1 {
+			out[0] = (lo + hi) / 2
+			return out
+		}
+		for i := range out {
+			out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		return out
+	}
+	out := make([]float64, n)
+	cur := math.Inf(-1)
+	for i, v := range ideal {
+		p := math.Max(v, lo)
+		if p < cur+spacing {
+			p = cur + spacing
+		}
+		out[i] = p
+		cur = p
+	}
+	// Shift back if the sweep overran the upper bound.
+	if over := out[n-1] - hi; over > 0 {
+		for i := range out {
+			out[i] -= over
+		}
+	}
+	return out
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,159 @@
+package render
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ovhweather/internal/extract"
+	"ovhweather/internal/wmap"
+)
+
+// randomMap builds a random valid weather map: a handful of routers and
+// peerings, random links (with parallels and duplicate labels), every node
+// attached.
+func randomMap(rng *rand.Rand) *wmap.Map {
+	nRouters := 2 + rng.Intn(8)
+	nPeers := rng.Intn(4)
+	m := &wmap.Map{ID: wmap.Europe}
+	for i := 0; i < nRouters; i++ {
+		m.Nodes = append(m.Nodes, wmap.Node{
+			Name: fmt.Sprintf("r%02d-site%d", i, rng.Intn(9)),
+			Kind: wmap.Router,
+		})
+	}
+	for i := 0; i < nPeers; i++ {
+		m.Nodes = append(m.Nodes, wmap.Node{
+			Name: fmt.Sprintf("PEER-%02d", i),
+			Kind: wmap.Peering,
+		})
+	}
+	// A chain over the routers guarantees connectivity of routers.
+	for i := 1; i < nRouters; i++ {
+		m.Links = append(m.Links, randomLink(rng, m.Nodes[i-1].Name, m.Nodes[i].Name, 1))
+	}
+	// Peerings attach to a random router, sometimes with parallels that
+	// share a label, as on the real map.
+	for i := 0; i < nPeers; i++ {
+		r := m.Nodes[rng.Intn(nRouters)].Name
+		p := m.Nodes[nRouters+i].Name
+		parallels := 1 + rng.Intn(4)
+		dup := rng.Intn(2) == 0
+		for j := 0; j < parallels; j++ {
+			label := j + 1
+			if dup {
+				label = 1
+			}
+			m.Links = append(m.Links, randomLink(rng, r, p, label))
+		}
+	}
+	// Extra random chords.
+	for i := rng.Intn(6); i > 0; i-- {
+		a := m.Nodes[rng.Intn(nRouters)].Name
+		b := m.Nodes[rng.Intn(nRouters)].Name
+		if a == b {
+			continue
+		}
+		m.Links = append(m.Links, randomLink(rng, a, b, 1+rng.Intn(3)))
+	}
+	return m
+}
+
+func randomLink(rng *rand.Rand, a, b string, label int) wmap.Link {
+	l := fmt.Sprintf("#%d", label)
+	return wmap.Link{
+		A: a, B: b, LabelA: l, LabelB: l,
+		LoadAB: wmap.Load(rng.Intn(101)),
+		LoadBA: wmap.Load(rng.Intn(101)),
+	}
+}
+
+// Property: every random valid map survives render -> scan -> attribute
+// with nodes and multiset of links preserved.
+func TestRenderExtractRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMap(rng)
+		var buf bytes.Buffer
+		if err := Render(&buf, m, Options{}); err != nil {
+			t.Logf("seed %d: render: %v", seed, err)
+			return false
+		}
+		got, err := extract.ExtractSVG(&buf, m.ID, time.Time{}, extract.DefaultOptions())
+		if err != nil {
+			t.Logf("seed %d: extract: %v", seed, err)
+			return false
+		}
+		if len(got.Nodes) != len(m.Nodes) || len(got.Links) != len(m.Links) {
+			t.Logf("seed %d: sizes differ: %d/%d nodes, %d/%d links",
+				seed, len(got.Nodes), len(m.Nodes), len(got.Links), len(m.Links))
+			return false
+		}
+		want := map[linkKey]int{}
+		for _, l := range m.Links {
+			want[canonLink(l)]++
+		}
+		for _, l := range got.Links {
+			k := canonLink(l)
+			if want[k] == 0 {
+				t.Logf("seed %d: unexpected link %+v", seed, l)
+				return false
+			}
+			want[k]--
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+type linkKey struct {
+	a, b, la, lb   string
+	loadAB, loadBA wmap.Load
+}
+
+func canonLink(l wmap.Link) linkKey {
+	if l.A <= l.B {
+		return linkKey{l.A, l.B, l.LabelA, l.LabelB, l.LoadAB, l.LoadBA}
+	}
+	return linkKey{l.B, l.A, l.LabelB, l.LabelA, l.LoadBA, l.LoadAB}
+}
+
+// Property: layout never produces overlapping node boxes and keeps every
+// label within the attribution threshold of its port.
+func TestLayoutInvariantsQuick(t *testing.T) {
+	threshold := extract.DefaultOptions().LabelThreshold
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMap(rng)
+		sc, err := Layout(m, Options{})
+		if err != nil {
+			return false
+		}
+		for i := range sc.Nodes {
+			for j := i + 1; j < len(sc.Nodes); j++ {
+				if sc.Nodes[i].Box.Overlaps(sc.Nodes[j].Box) {
+					return false
+				}
+			}
+		}
+		for i := range sc.Links {
+			pl := &sc.Links[i]
+			if pl.LabelA.Box.DistToPoint(pl.PortA) > threshold {
+				return false
+			}
+			if pl.LabelB.Box.DistToPoint(pl.PortB) > threshold {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package status
+
+import (
+	"fmt"
+	"time"
+
+	"ovhweather/internal/netsim"
+)
+
+// FromScenario derives the status feed a provider would have published for
+// the given simulation scenario: every topology event that operators plan
+// (router additions and removals, core link upgrades, peering activations)
+// gets a status entry, in the way the real status site announces windows
+// around the work.
+//
+// Incident-kind entries are emitted only for maintenance windows —
+// RemoveRouters events that a later RestoreRouters undoes; permanent
+// decommissions appear as planned maintenance.
+func FromScenario(sc netsim.Scenario) *Feed {
+	feed := NewFeed()
+	seq := 0
+	id := func() string {
+		seq++
+		return fmt.Sprintf("STATUS-%04d", seq)
+	}
+	for _, msc := range sc.Maps {
+		// Pair each RemoveRouters with the following RestoreRouters, if any,
+		// to distinguish maintenance windows from decommissions.
+		restoreAfter := make(map[int]time.Time)
+		for i, ev := range msc.Events {
+			if ev.Kind != netsim.RemoveRouters {
+				continue
+			}
+			for _, later := range msc.Events[i+1:] {
+				if later.Kind == netsim.RestoreRouters {
+					restoreAfter[i] = later.Time
+					break
+				}
+				if later.Kind == netsim.RemoveRouters {
+					break
+				}
+			}
+		}
+		for i, ev := range msc.Events {
+			switch ev.Kind {
+			case netsim.AddRouters:
+				feed.Add(Event{
+					ID: id(), Kind: Upgrade,
+					Start: ev.Time, End: ev.Time.Add(12 * time.Hour),
+					Scope:       string(msc.ID),
+					Description: fmt.Sprintf("deploying %d new routers (%s)", ev.Count, ev.Note),
+				})
+			case netsim.RemoveRouters:
+				end, isWindow := restoreAfter[i]
+				if !isWindow {
+					end = ev.Time.Add(24 * time.Hour)
+				}
+				feed.Add(Event{
+					ID: id(), Kind: Maintenance,
+					Start: ev.Time.Add(-6 * time.Hour), End: end,
+					Scope:       string(msc.ID),
+					Description: fmt.Sprintf("maintenance on %d routers (%s)", ev.Count, ev.Note),
+				})
+			case netsim.AddInternalLinks:
+				feed.Add(Event{
+					ID: id(), Kind: Upgrade,
+					Start: ev.Time, End: ev.Time.Add(6 * time.Hour),
+					Scope:       string(msc.ID),
+					Description: fmt.Sprintf("adding %d backbone links (%s)", ev.Count, ev.Note),
+				})
+			case netsim.ActivateLinks:
+				feed.Add(Event{
+					ID: id(), Kind: Upgrade,
+					Start: ev.Time, End: ev.Time.Add(2 * time.Hour),
+					Scope:       string(msc.ID),
+					Description: fmt.Sprintf("activating new capacity toward %s", ev.Peering),
+				})
+			}
+		}
+	}
+	return feed
+}

@@ -1,0 +1,149 @@
+package status
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ovhweather/internal/netsim"
+)
+
+func at(d, h int) time.Time {
+	return time.Date(2021, 8, d, h, 0, 0, 0, time.UTC)
+}
+
+func sampleFeed() *Feed {
+	return NewFeed(
+		Event{ID: "M1", Kind: Maintenance, Start: at(9, 0), End: at(23, 0), Scope: "europe", Description: "window"},
+		Event{ID: "U1", Kind: Upgrade, Start: at(2, 0), End: at(2, 12), Scope: "europe", Description: "new routers"},
+		Event{ID: "I1", Kind: Incident, Start: at(15, 3), Scope: "europe", Description: "fiber cut"},
+	)
+}
+
+func TestFeedOrderingAndAccessors(t *testing.T) {
+	f := sampleFeed()
+	if f.Len() != 3 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	evs := f.Events()
+	if evs[0].ID != "U1" || evs[1].ID != "M1" || evs[2].ID != "I1" {
+		t.Errorf("order = %v, %v, %v", evs[0].ID, evs[1].ID, evs[2].ID)
+	}
+	// Events() returns a copy.
+	evs[0].ID = "mutated"
+	if f.Events()[0].ID != "U1" {
+		t.Error("Events leaked internal slice")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	e := Event{Start: at(9, 0), End: at(23, 0)}
+	if e.Covers(at(8, 23)) {
+		t.Error("before start should not be covered")
+	}
+	if !e.Covers(at(9, 0)) || !e.Covers(at(15, 0)) || !e.Covers(at(23, 0)) {
+		t.Error("window should be covered inclusively")
+	}
+	if e.Covers(at(23, 1)) {
+		t.Error("after end should not be covered")
+	}
+	open := Event{Start: at(15, 3)}
+	if !open.Open() || !open.Covers(at(30, 0)) {
+		t.Error("open event should cover everything after start")
+	}
+}
+
+func TestAtAndBetween(t *testing.T) {
+	f := sampleFeed()
+	got := f.At(at(15, 4))
+	if len(got) != 2 { // M1 window + open incident I1
+		t.Fatalf("At = %+v", got)
+	}
+	between := f.Between(at(1, 0), at(3, 0))
+	if len(between) != 1 || between[0].ID != "U1" {
+		t.Errorf("Between = %+v", between)
+	}
+	all := f.Between(at(1, 0), at(30, 0))
+	if len(all) != 3 {
+		t.Errorf("full window = %d events", len(all))
+	}
+}
+
+func TestExplains(t *testing.T) {
+	f := sampleFeed()
+	if ev := f.Explains(at(10, 0), Maintenance, 0); ev == nil || ev.ID != "M1" {
+		t.Errorf("Explains inside window = %+v", ev)
+	}
+	// Slack stretches the window.
+	if ev := f.Explains(at(8, 20), Maintenance, 6*time.Hour); ev == nil {
+		t.Error("slack before start should match")
+	}
+	if ev := f.Explains(at(8, 20), Maintenance, time.Hour); ev != nil {
+		t.Error("insufficient slack should not match")
+	}
+	if ev := f.Explains(at(10, 0), Upgrade, 0); ev != nil {
+		t.Errorf("kind filter leaked: %+v", ev)
+	}
+	if ev := f.Explains(at(20, 0), "", 0); ev == nil {
+		t.Error("empty kind should match any")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := sampleFeed()
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Errorf("restored len = %d", back.Len())
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte(`[{"kind":"maintenance"}]`))); err == nil {
+		t.Error("event without id/start should fail")
+	}
+}
+
+func TestFromScenario(t *testing.T) {
+	sc := netsim.DefaultScenario()
+	feed := FromScenario(sc)
+	if feed.Len() == 0 {
+		t.Fatal("empty feed from default scenario")
+	}
+	var maint, upg int
+	for _, e := range feed.Events() {
+		switch e.Kind {
+		case Maintenance:
+			maint++
+		case Upgrade:
+			upg++
+		}
+		if e.ID == "" || e.Scope == "" || e.Description == "" {
+			t.Errorf("incomplete event: %+v", e)
+		}
+	}
+	if maint < 3 {
+		t.Errorf("maintenance events = %d, want the three removal windows", maint)
+	}
+	if upg < 5 {
+		t.Errorf("upgrade events = %d", upg)
+	}
+
+	// The August 2021 dip must be covered by a maintenance window that ends
+	// at the restore.
+	dip := time.Date(2021, time.August, 9, 0, 0, 0, 0, time.UTC)
+	ev := feed.Explains(dip, Maintenance, 12*time.Hour)
+	if ev == nil {
+		t.Fatal("August 2021 dip not covered by a maintenance window")
+	}
+	restore := time.Date(2021, time.August, 23, 0, 0, 0, 0, time.UTC)
+	if !ev.End.Equal(restore) {
+		t.Errorf("maintenance window ends %s, want the restore at %s", ev.End, restore)
+	}
+}

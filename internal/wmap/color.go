@@ -1,0 +1,59 @@
+package wmap
+
+import "strings"
+
+// The weather map encodes each direction's load twice: explicitly as a
+// percentage and "implicitly through its color" (paper, Section 4). The
+// palette below is this reproduction's banding; BandOfColor inverts it so
+// the extraction pipeline can cross-check the two encodings.
+
+// ColorBand is one contiguous load range drawn in a single color.
+type ColorBand struct {
+	Lo, Hi Load   // inclusive band bounds
+	Color  string // #rrggbb fill
+}
+
+// Palette lists the load bands in ascending order. Band 0 is the disabled
+// (0 %) gray.
+var Palette = []ColorBand{
+	{0, 0, "#b0b0b0"},
+	{1, 19, "#5aa837"},
+	{20, 39, "#9ac93b"},
+	{40, 54, "#f4d03f"},
+	{55, 69, "#e67e22"},
+	{70, 84, "#e74c3c"},
+	{85, 100, "#8e44ad"},
+}
+
+// LoadColor returns the palette color for a load.
+func LoadColor(l Load) string {
+	for _, b := range Palette {
+		if l >= b.Lo && l <= b.Hi {
+			return b.Color
+		}
+	}
+	return Palette[len(Palette)-1].Color
+}
+
+// BandOfColor returns the band drawn in the given color; ok is false for
+// colors outside the palette (maps from other operators use their own).
+func BandOfColor(color string) (ColorBand, bool) {
+	c := strings.ToLower(strings.TrimSpace(color))
+	for _, b := range Palette {
+		if b.Color == c {
+			return b, true
+		}
+	}
+	return ColorBand{}, false
+}
+
+// ColorMatchesLoad reports whether the fill color is consistent with the
+// displayed load. Unknown colors are treated as consistent: the check is a
+// cross-validation for maps using this palette, not a gate on foreign maps.
+func ColorMatchesLoad(color string, l Load) bool {
+	b, ok := BandOfColor(color)
+	if !ok {
+		return true
+	}
+	return l >= b.Lo && l <= b.Hi
+}

@@ -1,0 +1,138 @@
+package wmap
+
+import "sort"
+
+// Diff describes the topology change between two snapshots of the same
+// map: which nodes appeared or vanished, and how the link population moved.
+// The count-based evolution series (Figure 4a/4b) says *how much* changed;
+// the diff says *what* changed, which is how the paper suggests
+// distinguishing upgrades from failures ("Future work could use router
+// names to identify the spread of these variations").
+type Diff struct {
+	NodesAdded   []Node
+	NodesRemoved []Node
+	// LinksAdded/LinksRemoved hold the per-endpoint-pair link-count deltas:
+	// parallel links are anonymous on the map, so links are diffed as
+	// multisets per (endpoints, labels) group.
+	LinksAdded   []LinkDelta
+	LinksRemoved []LinkDelta
+	// LoadChanges counts links whose loads moved between the snapshots
+	// among pairs present in both.
+	LoadChanges int
+}
+
+// LinkDelta is a change in the number of links of one identity.
+type LinkDelta struct {
+	A, B           string
+	LabelA, LabelB string
+	Count          int
+}
+
+// Empty reports whether the diff carries no topology change (load changes
+// do not count; they happen every five minutes).
+func (d *Diff) Empty() bool {
+	return len(d.NodesAdded) == 0 && len(d.NodesRemoved) == 0 &&
+		len(d.LinksAdded) == 0 && len(d.LinksRemoved) == 0
+}
+
+// linkIdentity keys links for multiset diffing, orientation-normalized.
+type linkIdentity struct {
+	a, b, la, lb string
+}
+
+func identityOf(l Link) linkIdentity {
+	if l.A <= l.B {
+		return linkIdentity{l.A, l.B, l.LabelA, l.LabelB}
+	}
+	return linkIdentity{l.B, l.A, l.LabelB, l.LabelA}
+}
+
+// Compare computes the topology diff from an older snapshot to a newer one.
+func Compare(old, new *Map) *Diff {
+	d := &Diff{}
+
+	oldNodes := make(map[string]Node, len(old.Nodes))
+	for _, n := range old.Nodes {
+		oldNodes[n.Name] = n
+	}
+	newNodes := make(map[string]Node, len(new.Nodes))
+	for _, n := range new.Nodes {
+		newNodes[n.Name] = n
+	}
+	for _, n := range new.Nodes {
+		if _, ok := oldNodes[n.Name]; !ok {
+			d.NodesAdded = append(d.NodesAdded, n)
+		}
+	}
+	for _, n := range old.Nodes {
+		if _, ok := newNodes[n.Name]; !ok {
+			d.NodesRemoved = append(d.NodesRemoved, n)
+		}
+	}
+	sort.Slice(d.NodesAdded, func(i, j int) bool { return d.NodesAdded[i].Name < d.NodesAdded[j].Name })
+	sort.Slice(d.NodesRemoved, func(i, j int) bool { return d.NodesRemoved[i].Name < d.NodesRemoved[j].Name })
+
+	oldLinks := make(map[linkIdentity]int)
+	type loadPair struct{ ab, ba Load }
+	oldLoads := make(map[linkIdentity][]loadPair)
+	for _, l := range old.Links {
+		id := identityOf(l)
+		oldLinks[id]++
+		ab, ba := l.LoadAB, l.LoadBA
+		if l.A > l.B {
+			ab, ba = ba, ab // normalize to the identity's endpoint order
+		}
+		oldLoads[id] = append(oldLoads[id], loadPair{ab, ba})
+	}
+	newLinks := make(map[linkIdentity]int)
+	for _, l := range new.Links {
+		id := identityOf(l)
+		newLinks[id]++
+		// Load change accounting: match against the old multiset in order,
+		// with both sides normalized to the identity's endpoint order.
+		if lp := oldLoads[id]; len(lp) > 0 {
+			ab, ba := l.LoadAB, l.LoadBA
+			if l.A > l.B {
+				ab, ba = ba, ab
+			}
+			if lp[0].ab != ab || lp[0].ba != ba {
+				d.LoadChanges++
+			}
+			oldLoads[id] = lp[1:]
+		}
+	}
+
+	ids := make(map[linkIdentity]struct{})
+	for id := range oldLinks {
+		ids[id] = struct{}{}
+	}
+	for id := range newLinks {
+		ids[id] = struct{}{}
+	}
+	for id := range ids {
+		delta := newLinks[id] - oldLinks[id]
+		ld := LinkDelta{A: id.a, B: id.b, LabelA: id.la, LabelB: id.lb}
+		switch {
+		case delta > 0:
+			ld.Count = delta
+			d.LinksAdded = append(d.LinksAdded, ld)
+		case delta < 0:
+			ld.Count = -delta
+			d.LinksRemoved = append(d.LinksRemoved, ld)
+		}
+	}
+	sortDeltas := func(s []LinkDelta) {
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].A != s[j].A {
+				return s[i].A < s[j].A
+			}
+			if s[i].B != s[j].B {
+				return s[i].B < s[j].B
+			}
+			return s[i].LabelA < s[j].LabelA
+		})
+	}
+	sortDeltas(d.LinksAdded)
+	sortDeltas(d.LinksRemoved)
+	return d
+}

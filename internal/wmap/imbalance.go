@@ -1,0 +1,74 @@
+package wmap
+
+// ImbalanceOptions controls the parallel-link imbalance computation of the
+// paper's Figure 5c.
+type ImbalanceOptions struct {
+	// IgnoreZero drops 0 % loads: such links are unused in the network.
+	IgnoreZero bool
+	// IgnoreOne drops 1 % loads: a 1 % reading cannot be distinguished from
+	// control traffic only.
+	IgnoreOne bool
+	// MinLinks drops directed sets with fewer remaining links; the paper
+	// removes sets with only one remaining link (MinLinks = 2).
+	MinLinks int
+}
+
+// PaperImbalanceOptions returns the exact filtering the paper applies:
+// ignore 0 % and 1 % loads, require at least two remaining links per set.
+func PaperImbalanceOptions() ImbalanceOptions {
+	return ImbalanceOptions{IgnoreZero: true, IgnoreOne: true, MinLinks: 2}
+}
+
+// Imbalance is the load imbalance of one directed set of parallel links:
+// the difference between the maximum and the minimum load, assuming all
+// parallel links between two routers have the same capacity.
+type Imbalance struct {
+	From, To string
+	Internal bool // true when both endpoints are OVH routers
+	Spread   int  // max load − min load, percentage points
+	Links    int  // number of links contributing after filtering
+}
+
+// Imbalances computes the load imbalance for every directed set of parallel
+// links on the map, applying the given filters. Each unordered group yields
+// up to two directed sets (one per direction), matching the paper's
+// methodology for Figure 5c.
+func (m *Map) Imbalances(opt ImbalanceOptions) []Imbalance {
+	var out []Imbalance
+	for _, g := range m.ParallelGroups() {
+		internal := KindOfName(g.A) == Router && KindOfName(g.B) == Router
+		for _, dir := range [2][2]string{{g.A, g.B}, {g.B, g.A}} {
+			loads := g.DirectedLoads(dir[0])
+			kept := loads[:0:0]
+			for _, l := range loads {
+				if opt.IgnoreZero && l == 0 {
+					continue
+				}
+				if opt.IgnoreOne && l == 1 {
+					continue
+				}
+				kept = append(kept, l)
+			}
+			if len(kept) < opt.MinLinks || len(kept) == 0 {
+				continue
+			}
+			mn, mx := kept[0], kept[0]
+			for _, l := range kept[1:] {
+				if l < mn {
+					mn = l
+				}
+				if l > mx {
+					mx = l
+				}
+			}
+			out = append(out, Imbalance{
+				From:     dir[0],
+				To:       dir[1],
+				Internal: internal,
+				Spread:   int(mx - mn),
+				Links:    len(kept),
+			})
+		}
+	}
+	return out
+}

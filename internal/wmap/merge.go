@@ -1,0 +1,35 @@
+package wmap
+
+// Merge combines several simultaneous map snapshots into the global network
+// overview the paper describes ("Combining the different maps together
+// yields a global overview of the network"). Nodes appearing on several
+// maps — the routers behind Table 1's dedup — are kept once; links are
+// concatenated, since each map shows its own links (the World map holds the
+// intercontinental links the regional maps omit).
+//
+// The merged map carries the latest timestamp of the inputs and the id of
+// the first input; it is a view for analysis, not a fifth weather map.
+func Merge(maps ...*Map) *Map {
+	out := &Map{}
+	seen := make(map[string]struct{})
+	for _, m := range maps {
+		if m == nil {
+			continue
+		}
+		if out.ID == "" {
+			out.ID = m.ID
+		}
+		if m.Time.After(out.Time) {
+			out.Time = m.Time
+		}
+		for _, n := range m.Nodes {
+			if _, dup := seen[n.Name]; dup {
+				continue
+			}
+			seen[n.Name] = struct{}{}
+			out.Nodes = append(out.Nodes, n)
+		}
+		out.Links = append(out.Links, m.Links...)
+	}
+	return out
+}

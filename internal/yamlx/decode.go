@@ -1,0 +1,394 @@
+package yamlx
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Unmarshal parses a YAML document produced by Marshal (or hand-written in
+// the same subset) into the generic representation: map[string]any, []any,
+// string, int64, float64, bool, or nil.
+func Unmarshal(data []byte) (any, error) {
+	p := &parser{}
+	p.split(string(data))
+	if len(p.lines) == 0 {
+		return nil, nil
+	}
+	v, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("yamlx: line %d: unexpected content %q", p.lines[p.pos].num, p.lines[p.pos].text)
+	}
+	return v, nil
+}
+
+// line is a logical (non-blank, non-comment) input line.
+type line struct {
+	num    int    // 1-based line number in the original document
+	indent int    // count of leading spaces
+	text   string // content without indentation
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+// split prepares the logical line list, dropping blanks, full-line comments,
+// and the optional leading document marker.
+func (p *parser) split(doc string) {
+	for i, raw := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimRight(raw, " \r")
+		body := strings.TrimLeft(trimmed, " ")
+		if body == "" || strings.HasPrefix(body, "#") {
+			continue
+		}
+		if body == "---" && len(p.lines) == 0 {
+			continue
+		}
+		p.lines = append(p.lines, line{
+			num:    i + 1,
+			indent: len(trimmed) - len(body),
+			text:   body,
+		})
+	}
+}
+
+func (p *parser) cur() (line, bool) {
+	if p.pos >= len(p.lines) {
+		return line{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// parseBlock parses a mapping, sequence, or scalar whose first line is at
+// indentation >= min.
+func (p *parser) parseBlock(min int) (any, error) {
+	l, ok := p.cur()
+	if !ok || l.indent < min {
+		return nil, nil
+	}
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.parseSequence(l.indent)
+	}
+	// Flow collections are values, never mapping keys, even when their
+	// content contains ": ".
+	if !strings.HasPrefix(l.text, "[") && !strings.HasPrefix(l.text, "{") {
+		if _, _, isMap := splitKey(l.text); isMap {
+			return p.parseMapping(l.indent)
+		}
+	}
+	// Standalone scalar (or flow-collection) document.
+	p.pos++
+	return parseScalarOrFlow(l.text, l.num)
+}
+
+func (p *parser) parseMapping(ind int) (any, error) {
+	m := make(map[string]any)
+	for {
+		l, ok := p.cur()
+		if !ok || l.indent < ind {
+			return m, nil
+		}
+		if l.indent > ind {
+			return nil, fmt.Errorf("yamlx: line %d: unexpected indentation", l.num)
+		}
+		key, rest, isMap := splitKey(l.text)
+		if !isMap {
+			return nil, fmt.Errorf("yamlx: line %d: expected \"key:\" in mapping, got %q", l.num, l.text)
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yamlx: line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalarOrFlow(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// Value is a nested block (or null when nothing is indented deeper).
+		nl, ok := p.cur()
+		if !ok || nl.indent <= ind {
+			// A sequence may sit at the same indentation as its key, which
+			// is valid YAML and common in hand-written files.
+			if ok && nl.indent == ind && (strings.HasPrefix(nl.text, "- ") || nl.text == "-") {
+				v, err := p.parseSequence(ind)
+				if err != nil {
+					return nil, err
+				}
+				m[key] = v
+				continue
+			}
+			m[key] = nil
+			continue
+		}
+		v, err := p.parseBlock(ind + 1)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+}
+
+func (p *parser) parseSequence(ind int) (any, error) {
+	var seq []any
+	for {
+		l, ok := p.cur()
+		if !ok || l.indent < ind {
+			return seq, nil
+		}
+		if l.indent > ind || (!strings.HasPrefix(l.text, "- ") && l.text != "-") {
+			return seq, nil
+		}
+		p.pos++
+		rest := strings.TrimPrefix(l.text, "-")
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			// Item is a nested block on following lines.
+			nl, ok := p.cur()
+			if !ok || nl.indent <= ind {
+				seq = append(seq, nil)
+				continue
+			}
+			v, err := p.parseBlock(ind + 1)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		if key, after, isMap := splitKey(rest); isMap &&
+			!strings.HasPrefix(rest, "[") && !strings.HasPrefix(rest, "{") {
+			// Inline first key of a mapping item: "- name: x".
+			// The map's keys are indented past the dash.
+			itemInd := ind + 2
+			m := make(map[string]any)
+			if after != "" {
+				v, err := parseScalarOrFlow(after, l.num)
+				if err != nil {
+					return nil, err
+				}
+				m[key] = v
+			} else {
+				nl, ok := p.cur()
+				if ok && nl.indent > itemInd {
+					v, err := p.parseBlock(itemInd + 1)
+					if err != nil {
+						return nil, err
+					}
+					m[key] = v
+				} else {
+					m[key] = nil
+				}
+			}
+			if err := p.parseMappingInto(m, itemInd); err != nil {
+				return nil, err
+			}
+			seq = append(seq, m)
+			continue
+		}
+		v, err := parseScalarOrFlow(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+}
+
+// parseMappingInto continues parsing mapping entries at exactly indentation
+// ind into m. It is used for sequence items whose first key shares the dash
+// line.
+func (p *parser) parseMappingInto(m map[string]any, ind int) error {
+	for {
+		l, ok := p.cur()
+		if !ok || l.indent != ind {
+			return nil
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil
+		}
+		key, rest, isMap := splitKey(l.text)
+		if !isMap {
+			return fmt.Errorf("yamlx: line %d: expected mapping continuation, got %q", l.num, l.text)
+		}
+		if _, dup := m[key]; dup {
+			return fmt.Errorf("yamlx: line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalarOrFlow(rest, l.num)
+			if err != nil {
+				return err
+			}
+			m[key] = v
+			continue
+		}
+		nl, ok := p.cur()
+		if !ok || nl.indent <= ind {
+			m[key] = nil
+			continue
+		}
+		v, err := p.parseBlock(ind + 1)
+		if err != nil {
+			return err
+		}
+		m[key] = v
+	}
+}
+
+// splitKey splits "key: value" or "key:" into its parts. Quoted keys are
+// unquoted. isMap is false when the text does not look like a mapping entry.
+func splitKey(text string) (key, rest string, isMap bool) {
+	if strings.HasPrefix(text, `"`) {
+		// Quoted key: find the closing quote, then require ":".
+		end := closingQuote(text)
+		if end < 0 {
+			return "", "", false
+		}
+		k, err := strconv.Unquote(text[:end+1])
+		if err != nil {
+			return "", "", false
+		}
+		after := text[end+1:]
+		if after == ":" {
+			return k, "", true
+		}
+		if strings.HasPrefix(after, ": ") {
+			return k, strings.TrimLeft(after[2:], " "), true
+		}
+		return "", "", false
+	}
+	idx := strings.Index(text, ":")
+	for idx >= 0 {
+		after := text[idx+1:]
+		if after == "" {
+			return text[:idx], "", true
+		}
+		if strings.HasPrefix(after, " ") {
+			return text[:idx], strings.TrimLeft(after, " "), true
+		}
+		next := strings.Index(after, ":")
+		if next < 0 {
+			return "", "", false
+		}
+		idx += 1 + next
+	}
+	return "", "", false
+}
+
+// closingQuote returns the index of the quote closing a string that starts
+// with `"`, honouring backslash escapes; -1 when unterminated.
+func closingQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+// parseScalarOrFlow parses an inline value: a flow sequence of scalars, a
+// flow empty map, or a plain/quoted scalar. Trailing comments after plain
+// scalars are stripped.
+func parseScalarOrFlow(s string, num int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "{}":
+		return map[string]any{}, nil
+	case s == "[]":
+		return []any{}, nil
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yamlx: line %d: unterminated flow sequence %q", num, s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		parts, err := splitFlow(inner, num)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, len(parts))
+		for i, part := range parts {
+			v, err := parseScalar(strings.TrimSpace(part), num)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	default:
+		return parseScalar(s, num)
+	}
+}
+
+// splitFlow splits a flow-sequence body on commas outside quotes.
+func splitFlow(s string, num int) ([]string, error) {
+	var parts []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote && c == '\\' && i+1 < len(s):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(s[i])
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("yamlx: line %d: unterminated quote in flow sequence", num)
+	}
+	return append(parts, cur.String()), nil
+}
+
+func parseScalar(s string, num int) (any, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, `"`) {
+		end := closingQuote(s)
+		if end != len(s)-1 {
+			return nil, fmt.Errorf("yamlx: line %d: malformed quoted scalar %q", num, s)
+		}
+		return strconv.Unquote(s)
+	}
+	// Strip trailing comment on plain scalars.
+	if idx := strings.Index(s, " #"); idx >= 0 {
+		s = strings.TrimSpace(s[:idx])
+	}
+	switch strings.ToLower(s) {
+	case "null", "~", "":
+		return nil, nil
+	case "true", "yes", "on":
+		return true, nil
+	case "false", "no", "off":
+		return false, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
+		// Non-finite spellings ("nan", "inf") stay strings: the encoder
+		// refuses non-finite floats, keeping documents round-trippable.
+		return f, nil
+	}
+	return s, nil
+}

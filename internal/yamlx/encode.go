@@ -1,0 +1,330 @@
+// Package yamlx implements the YAML subset used by the OVH Weather dataset's
+// processed files: block mappings, block sequences, flow sequences of
+// scalars, and plain/quoted scalars (strings, integers, floats, booleans,
+// null). The paper's pipeline emits one YAML document per SVG snapshot; this
+// package provides the stdlib-only encoder and decoder for those documents.
+//
+// Encoding accepts map[string]any, []any, scalars, and — via reflection —
+// structs with `yaml` field tags and typed slices/maps. Decoding produces
+// the generic representation (map[string]any, []any, string, int64, float64,
+// bool, nil), which the dataset loaders navigate directly.
+package yamlx
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Marshal renders v as a YAML document. Map keys are emitted in sorted order
+// so output is deterministic and diff-friendly.
+func Marshal(v any) ([]byte, error) {
+	var b strings.Builder
+	if err := encodeValue(&b, v, 0, false); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// encodeValue writes v at the given indentation depth. inline indicates the
+// cursor sits after "key:" or "-" on the current line.
+func encodeValue(b *strings.Builder, v any, depth int, inline bool) error {
+	v = normalize(v)
+	switch t := v.(type) {
+	case map[string]any:
+		return encodeMap(b, t, depth, inline)
+	case []any:
+		return encodeSeq(b, t, depth, inline)
+	default:
+		s, err := scalarString(v)
+		if err != nil {
+			return err
+		}
+		if inline {
+			b.WriteString(" ")
+		}
+		b.WriteString(s)
+		b.WriteString("\n")
+		return nil
+	}
+}
+
+func encodeMap(b *strings.Builder, m map[string]any, depth int, inline bool) error {
+	if len(m) == 0 {
+		if inline {
+			b.WriteString(" {}\n")
+		} else {
+			b.WriteString("{}\n")
+		}
+		return nil
+	}
+	if inline {
+		b.WriteString("\n")
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		indent(b, depth)
+		b.WriteString(keyString(k))
+		b.WriteString(":")
+		if err := encodeValue(b, m[k], depth+1, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeSeq(b *strings.Builder, s []any, depth int, inline bool) error {
+	if len(s) == 0 {
+		if inline {
+			b.WriteString(" []\n")
+		} else {
+			b.WriteString("[]\n")
+		}
+		return nil
+	}
+	if allScalars(s) {
+		// Compact flow style for scalar-only sequences keeps the processed
+		// files small; load vectors dominate the dataset volume.
+		parts := make([]string, len(s))
+		for i, e := range s {
+			str, err := scalarString(normalize(e))
+			if err != nil {
+				return err
+			}
+			parts[i] = str
+		}
+		if inline {
+			b.WriteString(" ")
+		}
+		b.WriteString("[" + strings.Join(parts, ", ") + "]\n")
+		return nil
+	}
+	if inline {
+		b.WriteString("\n")
+	}
+	for _, e := range s {
+		e = normalize(e)
+		indent(b, depth)
+		b.WriteString("-")
+		switch t := e.(type) {
+		case map[string]any:
+			if err := encodeMapAfterDash(b, t, depth+1); err != nil {
+				return err
+			}
+		case []any:
+			if err := encodeValue(b, t, depth+1, true); err != nil {
+				return err
+			}
+		default:
+			if err := encodeValue(b, e, depth+1, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// encodeMapAfterDash emits a mapping whose first key shares the dash line:
+//
+//   - name: x
+//     links: 3
+func encodeMapAfterDash(b *strings.Builder, m map[string]any, depth int) error {
+	if len(m) == 0 {
+		b.WriteString(" {}\n")
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i == 0 {
+			b.WriteString(" ")
+		} else {
+			indent(b, depth)
+		}
+		b.WriteString(keyString(k))
+		b.WriteString(":")
+		if err := encodeValue(b, m[k], depth+1, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func allScalars(s []any) bool {
+	for _, e := range s {
+		switch normalize(e).(type) {
+		case map[string]any, []any:
+			return false
+		}
+	}
+	return true
+}
+
+// normalize converts reflective kinds (structs, typed slices/maps, numeric
+// types) into the generic representation.
+func normalize(v any) any {
+	switch v.(type) {
+	case nil, string, bool, int64, float64, map[string]any, []any:
+		return v
+	case int:
+		return int64(v.(int))
+	case int8:
+		return int64(v.(int8))
+	case int16:
+		return int64(v.(int16))
+	case int32:
+		return int64(v.(int32))
+	case uint8:
+		return int64(v.(uint8))
+	case uint16:
+		return int64(v.(uint16))
+	case uint32:
+		return int64(v.(uint32))
+	case uint64:
+		return int64(v.(uint64))
+	case uint:
+		return int64(v.(uint))
+	case float32:
+		return float64(v.(float32))
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if rv.IsNil() {
+			return nil
+		}
+		return normalize(rv.Elem().Interface())
+	case reflect.Slice, reflect.Array:
+		out := make([]any, rv.Len())
+		for i := range out {
+			out[i] = normalize(rv.Index(i).Interface())
+		}
+		return out
+	case reflect.Map:
+		out := make(map[string]any, rv.Len())
+		iter := rv.MapRange()
+		for iter.Next() {
+			out[fmt.Sprint(iter.Key().Interface())] = normalize(iter.Value().Interface())
+		}
+		return out
+	case reflect.Struct:
+		out := make(map[string]any)
+		rt := rv.Type()
+		for i := 0; i < rt.NumField(); i++ {
+			f := rt.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name := f.Name
+			if tag, ok := f.Tag.Lookup("yaml"); ok {
+				parts := strings.Split(tag, ",")
+				if parts[0] == "-" {
+					continue
+				}
+				if parts[0] != "" {
+					name = parts[0]
+				}
+				if len(parts) > 1 && parts[1] == "omitempty" && rv.Field(i).IsZero() {
+					continue
+				}
+			}
+			out[name] = normalize(rv.Field(i).Interface())
+		}
+		return out
+	case reflect.String:
+		return rv.String()
+	default:
+		return v
+	}
+}
+
+func keyString(k string) string {
+	if needsQuoting(k) {
+		return strconv.Quote(k)
+	}
+	return k
+}
+
+func scalarString(v any) (string, error) {
+	switch t := v.(type) {
+	case nil:
+		return "null", nil
+	case bool:
+		return strconv.FormatBool(t), nil
+	case int64:
+		return strconv.FormatInt(t, 10), nil
+	case float64:
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return "", fmt.Errorf("yamlx: cannot encode non-finite float %v", t)
+		}
+		s := strconv.FormatFloat(t, 'g', -1, 64)
+		// Ensure round-trip back to float64 rather than int64.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s, nil
+	case string:
+		if needsQuoting(t) {
+			return strconv.Quote(t), nil
+		}
+		return t, nil
+	default:
+		return "", fmt.Errorf("yamlx: unsupported scalar type %T", v)
+	}
+}
+
+// needsQuoting reports whether a plain scalar string would be ambiguous or
+// syntactically unsafe unquoted.
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	switch strings.ToLower(s) {
+	case "null", "~", "true", "false", "yes", "no", "on", "off":
+		return true
+	}
+	if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return true
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return true
+	}
+	if strings.ContainsAny(s, ":#[]{},\"'") {
+		return true
+	}
+	for _, r := range s {
+		if r < 0x20 || r == 0x7f {
+			return true
+		}
+	}
+	// Plain scalars are trimmed by the parser, so any leading or trailing
+	// Unicode whitespace must be protected by quoting.
+	first, _ := utf8.DecodeRuneInString(s)
+	last, _ := utf8.DecodeLastRuneInString(s)
+	if unicode.IsSpace(first) || unicode.IsSpace(last) {
+		return true
+	}
+	switch s[0] {
+	case '-', '?', '&', '*', '!', '%', '@', '`':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package yamlx
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzUnmarshal checks that arbitrary input never panics the parser and
+// that anything it accepts re-encodes and re-parses to the same value
+// (decode → encode → decode is a fixed point).
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []string{
+		"",
+		"a: 1\n",
+		"a: [1, 2, \"x, y\"]\n",
+		"- 1\n- two\n",
+		"routers:\n  - name: fra\n    links: 3\n",
+		"routers:\n- a\n- b\nlinks: 3\n",
+		"\"#1\": 5\n",
+		"a:\n  b:\n    c: deep\n",
+		"# comment\n---\nkey: value\n",
+		"a: {}\nb: []\n",
+		"x: 3.5\ny: -7\nz: true\nw: null\n",
+		"a: \"esc\\\"aped\"\n",
+		"  weird indent\n",
+		"a: 1\n  b: 2\n",
+		"[1, 2",
+		"\"unterminated: 1",
+		"-\n-\n",
+		"k:\n- 1\n- k2: v\n  k3: w\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Unmarshal(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		enc, err := Marshal(v)
+		if err != nil {
+			// Values produced by Unmarshal are always encodable: they are
+			// built from the generic scalar/map/seq repertoire.
+			t.Fatalf("accepted value failed to encode: %v (value %#v)", err, v)
+		}
+		back, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-encoded document failed to parse: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(v, back) {
+			t.Fatalf("decode/encode/decode not a fixed point:\nfirst:  %#v\nsecond: %#v\ndoc:\n%s", v, back, enc)
+		}
+	})
+}

@@ -1,0 +1,519 @@
+package yamlx
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustMarshal(t *testing.T, v any) string {
+	t.Helper()
+	b, err := Marshal(v)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	return string(b)
+}
+
+func mustUnmarshal(t *testing.T, s string) any {
+	t.Helper()
+	v, err := Unmarshal([]byte(s))
+	if err != nil {
+		t.Fatalf("Unmarshal(%q): %v", s, err)
+	}
+	return v
+}
+
+func TestMarshalScalars(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{nil, "null\n"},
+		{true, "true\n"},
+		{int64(42), "42\n"},
+		{3.5, "3.5\n"},
+		{2.0, "2.0\n"},
+		{"hello", "hello\n"},
+		{"", `""` + "\n"},
+		{"true", `"true"` + "\n"},
+		{"123", `"123"` + "\n"},
+		{"#1", `"#1"` + "\n"},
+		{"a: b", `"a: b"` + "\n"},
+	}
+	for _, c := range cases {
+		if got := mustMarshal(t, c.in); got != c.want {
+			t.Errorf("Marshal(%#v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMarshalNonFinite(t *testing.T) {
+	inf := math.Inf(1)
+	if _, err := Marshal(map[string]any{"x": inf}); err == nil {
+		t.Error("Marshal(+Inf) should error")
+	}
+}
+
+func TestMarshalMapSortedKeys(t *testing.T) {
+	got := mustMarshal(t, map[string]any{"b": 2, "a": 1, "c": 3})
+	want := "a: 1\nb: 2\nc: 3\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestMarshalNested(t *testing.T) {
+	v := map[string]any{
+		"map":     "europe",
+		"routers": []any{map[string]any{"name": "fra1", "links": 3}},
+		"loads":   []any{int64(42), int64(9)},
+		"empty":   map[string]any{},
+		"none":    []any{},
+	}
+	got := mustMarshal(t, v)
+	want := strings.Join([]string{
+		"empty: {}",
+		"loads: [42, 9]",
+		"map: europe",
+		"none: []",
+		"routers:",
+		"  - links: 3",
+		"    name: fra1",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestMarshalStructTags(t *testing.T) {
+	type inner struct {
+		Name  string `yaml:"name"`
+		Count int    `yaml:"count,omitempty"`
+		Skip  string `yaml:"-"`
+	}
+	v := inner{Name: "x", Skip: "nope"}
+	got := mustMarshal(t, v)
+	if got != "name: x\n" {
+		t.Errorf("got %q", got)
+	}
+	v.Count = 2
+	got = mustMarshal(t, v)
+	if got != "count: 2\nname: x\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestMarshalTypedSlicesAndMaps(t *testing.T) {
+	got := mustMarshal(t, map[string]any{"xs": []int{1, 2}, "m": map[string]int{"k": 7}})
+	want := "m:\n  k: 7\nxs: [1, 2]\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestMarshalPointer(t *testing.T) {
+	x := 5
+	got := mustMarshal(t, map[string]any{"p": &x, "n": (*int)(nil)})
+	want := "n: null\np: 5\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestUnmarshalScalars(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"null\n", nil},
+		{"~", nil},
+		{"true", true},
+		{"no", false},
+		{"42", int64(42)},
+		{"-17", int64(-17)},
+		{"3.5", 3.5},
+		{"2.0", 2.0},
+		{"hello", "hello"},
+		{`"123"`, "123"},
+		{`"#1"`, "#1"},
+		{"plain # with comment", "plain"},
+	}
+	for _, c := range cases {
+		got := mustUnmarshal(t, c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Unmarshal(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnmarshalEmpty(t *testing.T) {
+	if v := mustUnmarshal(t, ""); v != nil {
+		t.Errorf("empty doc = %#v", v)
+	}
+	if v := mustUnmarshal(t, "# only a comment\n\n"); v != nil {
+		t.Errorf("comment-only doc = %#v", v)
+	}
+}
+
+func TestUnmarshalDocumentMarker(t *testing.T) {
+	v := mustUnmarshal(t, "---\nkey: 1\n")
+	m := v.(map[string]any)
+	if m["key"] != int64(1) {
+		t.Errorf("got %#v", v)
+	}
+}
+
+func TestUnmarshalMapping(t *testing.T) {
+	v := mustUnmarshal(t, "a: 1\nb: two\nc:\n  d: 4\n")
+	m, ok := v.(map[string]any)
+	if !ok {
+		t.Fatalf("got %T", v)
+	}
+	if m["a"] != int64(1) || m["b"] != "two" {
+		t.Errorf("m = %#v", m)
+	}
+	inner := m["c"].(map[string]any)
+	if inner["d"] != int64(4) {
+		t.Errorf("inner = %#v", inner)
+	}
+}
+
+func TestUnmarshalNullValue(t *testing.T) {
+	v := mustUnmarshal(t, "a:\nb: 1\n")
+	m := v.(map[string]any)
+	if m["a"] != nil {
+		t.Errorf("a = %#v, want nil", m["a"])
+	}
+}
+
+func TestUnmarshalSequence(t *testing.T) {
+	v := mustUnmarshal(t, "- 1\n- two\n- true\n")
+	s, ok := v.([]any)
+	if !ok {
+		t.Fatalf("got %T", v)
+	}
+	want := []any{int64(1), "two", true}
+	if !reflect.DeepEqual(s, want) {
+		t.Errorf("s = %#v", s)
+	}
+}
+
+func TestUnmarshalSequenceOfMaps(t *testing.T) {
+	doc := strings.Join([]string{
+		"links:",
+		"  - a: r1",
+		"    b: r2",
+		"    loads: [42, 9]",
+		"  - a: r3",
+		"    b: r4",
+		"    loads: [1, 0]",
+		"",
+	}, "\n")
+	v := mustUnmarshal(t, doc)
+	m := v.(map[string]any)
+	links := m["links"].([]any)
+	if len(links) != 2 {
+		t.Fatalf("links = %#v", links)
+	}
+	l0 := links[0].(map[string]any)
+	if l0["a"] != "r1" || l0["b"] != "r2" {
+		t.Errorf("l0 = %#v", l0)
+	}
+	loads := l0["loads"].([]any)
+	if !reflect.DeepEqual(loads, []any{int64(42), int64(9)}) {
+		t.Errorf("loads = %#v", loads)
+	}
+}
+
+func TestUnmarshalSequenceAtKeyIndent(t *testing.T) {
+	doc := "routers:\n- a\n- b\nlinks: 3\n"
+	v := mustUnmarshal(t, doc)
+	m := v.(map[string]any)
+	rs := m["routers"].([]any)
+	if !reflect.DeepEqual(rs, []any{"a", "b"}) {
+		t.Errorf("routers = %#v", rs)
+	}
+	if m["links"] != int64(3) {
+		t.Errorf("links = %#v", m["links"])
+	}
+}
+
+func TestUnmarshalFlow(t *testing.T) {
+	v := mustUnmarshal(t, `xs: [1, 2.5, "a, b", plain]`)
+	xs := v.(map[string]any)["xs"].([]any)
+	want := []any{int64(1), 2.5, "a, b", "plain"}
+	if !reflect.DeepEqual(xs, want) {
+		t.Errorf("xs = %#v", xs)
+	}
+}
+
+func TestUnmarshalEmptyCollections(t *testing.T) {
+	v := mustUnmarshal(t, "a: {}\nb: []\n")
+	m := v.(map[string]any)
+	if len(m["a"].(map[string]any)) != 0 {
+		t.Errorf("a = %#v", m["a"])
+	}
+	if len(m["b"].([]any)) != 0 {
+		t.Errorf("b = %#v", m["b"])
+	}
+}
+
+func TestUnmarshalQuotedKey(t *testing.T) {
+	v := mustUnmarshal(t, `"#1": 5`)
+	m := v.(map[string]any)
+	if m["#1"] != int64(5) {
+		t.Errorf("m = %#v", m)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		"a: 1\na: 2\n",          // duplicate key
+		"xs: [1, 2\n",           // unterminated flow
+		"a: \"unclosed\nb: 1\n", // malformed quote
+	}
+	for _, doc := range bad {
+		if _, err := Unmarshal([]byte(doc)); err == nil {
+			t.Errorf("Unmarshal(%q) should error", doc)
+		}
+	}
+}
+
+func TestRoundTripDocument(t *testing.T) {
+	orig := map[string]any{
+		"map":       "europe",
+		"timestamp": "2020-07-01T00:00:00Z",
+		"routers": []any{
+			map[string]any{"name": "fra-fr5-pb6-nc5", "kind": "router"},
+			map[string]any{"name": "ARELION", "kind": "peering"},
+		},
+		"links": []any{
+			map[string]any{
+				"a": "fra-fr5-pb6-nc5", "b": "ARELION",
+				"label_a": "#1", "label_b": "#1",
+				"load_ab": int64(42), "load_ba": int64(9),
+			},
+		},
+		"counts": []any{int64(1), int64(2), int64(3)},
+		"ratio":  0.5,
+		"valid":  true,
+		"note":   nil,
+	}
+	enc := mustMarshal(t, orig)
+	got := mustUnmarshal(t, enc)
+	if !reflect.DeepEqual(got, orig) {
+		t.Errorf("round trip mismatch:\nenc:\n%s\ngot:  %#v\nwant: %#v", enc, got, orig)
+	}
+}
+
+// Property: any map of string scalars round-trips.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(keys []string, vals []int32, f64 float64, s string, b bool) bool {
+		m := map[string]any{"f": float64(int64(f64*100)) / 4, "s": s, "b": b}
+		for i, k := range keys {
+			if i < len(vals) {
+				m["k"+k] = int64(vals[i])
+			}
+		}
+		enc, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		dec, err := Unmarshal(enc)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(dec, m)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: deeply nested sequences of maps round-trip.
+func TestRoundTripNestedQuick(t *testing.T) {
+	f := func(names []string, loads []uint8) bool {
+		var links []any
+		for i, n := range names {
+			if i >= len(loads) {
+				break
+			}
+			links = append(links, map[string]any{
+				"name": n,
+				"load": int64(loads[i]),
+				"tags": []any{"x", int64(i)},
+			})
+		}
+		doc := map[string]any{"links": links}
+		if links == nil {
+			doc["links"] = []any{}
+		}
+		enc, err := Marshal(doc)
+		if err != nil {
+			return false
+		}
+		dec, err := Unmarshal(enc)
+		if err != nil {
+			return false
+		}
+		got := dec.(map[string]any)["links"]
+		want := doc["links"]
+		return reflect.DeepEqual(got, want)
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalSeqOfSeq(t *testing.T) {
+	v := []any{[]any{int64(1), int64(2)}, []any{int64(3)}}
+	enc := mustMarshal(t, v)
+	dec := mustUnmarshal(t, enc)
+	if !reflect.DeepEqual(dec, v) {
+		t.Errorf("seq-of-seq round trip: enc=%q dec=%#v", enc, dec)
+	}
+}
+
+func TestUnmarshalSequenceItemNestedBlocks(t *testing.T) {
+	doc := strings.Join([]string{
+		"- name: x",   // inline first key
+		"  children:", // nested block value inside item
+		"    - 1",
+		"    - 2",
+		"  meta:",
+		"    k: v",
+		"-", // bare dash: nil item
+		"- plain",
+		"",
+	}, "\n")
+	v := mustUnmarshal(t, doc)
+	seq := v.([]any)
+	if len(seq) != 3 {
+		t.Fatalf("seq = %#v", seq)
+	}
+	item := seq[0].(map[string]any)
+	if !reflect.DeepEqual(item["children"], []any{int64(1), int64(2)}) {
+		t.Errorf("children = %#v", item["children"])
+	}
+	if item["meta"].(map[string]any)["k"] != "v" {
+		t.Errorf("meta = %#v", item["meta"])
+	}
+	if seq[1] != nil {
+		t.Errorf("bare dash = %#v", seq[1])
+	}
+	if seq[2] != "plain" {
+		t.Errorf("scalar item = %#v", seq[2])
+	}
+}
+
+func TestUnmarshalSequenceItemFirstKeyNestedBlock(t *testing.T) {
+	doc := strings.Join([]string{
+		"- deep:",
+		"    inner: 1",
+		"  next: 2",
+		"",
+	}, "\n")
+	v := mustUnmarshal(t, doc)
+	item := v.([]any)[0].(map[string]any)
+	if item["deep"].(map[string]any)["inner"] != int64(1) {
+		t.Errorf("deep = %#v", item["deep"])
+	}
+	if item["next"] != int64(2) {
+		t.Errorf("next = %#v", item["next"])
+	}
+}
+
+func TestUnmarshalSequenceItemDuplicateKey(t *testing.T) {
+	doc := "- a: 1\n  a: 2\n"
+	if _, err := Unmarshal([]byte(doc)); err == nil {
+		t.Error("duplicate key in sequence item should fail")
+	}
+}
+
+func TestUnmarshalMappingContinuationError(t *testing.T) {
+	doc := "- a: 1\n  plainword\n"
+	if _, err := Unmarshal([]byte(doc)); err == nil {
+		t.Error("non-mapping continuation line should fail")
+	}
+}
+
+func TestUnmarshalQuotedKeyVariants(t *testing.T) {
+	v := mustUnmarshal(t, `"a b": 1`)
+	if v.(map[string]any)["a b"] != int64(1) {
+		t.Errorf("quoted key with space: %#v", v)
+	}
+	v = mustUnmarshal(t, `"esc\"q": 2`)
+	if v.(map[string]any)[`esc"q`] != int64(2) {
+		t.Errorf("escaped quote in key: %#v", v)
+	}
+	// Quoted text that is not a key is a scalar.
+	v = mustUnmarshal(t, `"just text"`)
+	if v != "just text" {
+		t.Errorf("quoted scalar doc = %#v", v)
+	}
+}
+
+func TestUnmarshalColonInsideValue(t *testing.T) {
+	v := mustUnmarshal(t, "url: http://example.com:8080/x\n")
+	if v.(map[string]any)["url"] != "http://example.com:8080/x" {
+		t.Errorf("url = %#v", v)
+	}
+}
+
+func TestUnmarshalTopLevelFlow(t *testing.T) {
+	v := mustUnmarshal(t, `[1, 2, 3]`)
+	if !reflect.DeepEqual(v, []any{int64(1), int64(2), int64(3)}) {
+		t.Errorf("flow doc = %#v", v)
+	}
+	v = mustUnmarshal(t, `{}`)
+	if len(v.(map[string]any)) != 0 {
+		t.Errorf("empty flow map = %#v", v)
+	}
+}
+
+func TestUnmarshalNonFiniteStaysString(t *testing.T) {
+	for _, s := range []string{"nan", "inf", "-inf", "NaN"} {
+		v := mustUnmarshal(t, s)
+		if _, isStr := v.(string); !isStr {
+			t.Errorf("Unmarshal(%q) = %#v, want string", s, v)
+		}
+	}
+}
+
+func TestMarshalControlCharsQuoted(t *testing.T) {
+	enc := mustMarshal(t, "a\rb")
+	dec := mustUnmarshal(t, enc)
+	if dec != "a\rb" {
+		t.Errorf("control char round trip: %q -> %q", "a\rb", dec)
+	}
+}
+
+func TestMarshalSeqOfSeqNested(t *testing.T) {
+	v := []any{
+		[]any{map[string]any{"k": int64(1)}},
+		"scalar",
+	}
+	enc := mustMarshal(t, v)
+	dec := mustUnmarshal(t, enc)
+	if !reflect.DeepEqual(dec, v) {
+		t.Errorf("nested seq round trip:\nenc:\n%sgot %#v", enc, dec)
+	}
+}
+
+func TestNormalizeArrayAndInterface(t *testing.T) {
+	type wrap struct {
+		Arr [2]int `yaml:"arr"`
+	}
+	enc := mustMarshal(t, wrap{Arr: [2]int{7, 8}})
+	dec := mustUnmarshal(t, enc)
+	arr := dec.(map[string]any)["arr"]
+	if !reflect.DeepEqual(arr, []any{int64(7), int64(8)}) {
+		t.Errorf("array normalize = %#v", arr)
+	}
+}
