@@ -11,7 +11,12 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -560,6 +565,104 @@ func BenchmarkExtensionChurnDiff(b *testing.B) {
 		if len(d.NodesAdded) != 1 {
 			b.Fatal("diff broken")
 		}
+	}
+}
+
+// removeYAMLs deletes every processed file so the next ProcessMap run
+// starts from raw SVGs again.
+func removeYAMLs(b *testing.B, root string) {
+	b.Helper()
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, "."+dataset.ExtYAML) {
+			return os.Remove(path)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcessMapParallel measures the SVG→YAML batch conversion at
+// several worker-pool sizes over the same synthetic dataset — the headline
+// number for the paper's 695k-snapshot processing run. workers=1 is the
+// sequential baseline the parallel variants are compared against.
+func BenchmarkProcessMapParallel(b *testing.B) {
+	f := getFixture(b)
+	const snapshots = 24
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			store, err := dataset.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < snapshots; i++ {
+				at := f.sc.Start.Add(time.Duration(i) * 5 * time.Minute)
+				if err := store.WriteSnapshot(wmap.Europe, at, dataset.ExtSVG, f.europeSVG); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(snapshots * len(f.europeSVG)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				removeYAMLs(b, store.Root())
+				b.StartTimer()
+				rep, err := store.ProcessMapParallel(context.Background(), wmap.Europe, dataset.ProcessOptions{
+					Workers: workers,
+					Extract: extract.DefaultOptions(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Processed != snapshots || rep.Failed() != 0 {
+					b.Fatalf("report = %+v", rep)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWalkMapsParallel measures the chronological fold over processed
+// snapshots at several decoding worker counts — the read side every figure
+// regeneration pays, reorder buffer included.
+func BenchmarkWalkMapsParallel(b *testing.B) {
+	f := getFixture(b)
+	const snapshots = 64
+	store, err := dataset.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := extract.MarshalYAML(f.endMaps[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < snapshots; i++ {
+		at := f.sc.Start.Add(time.Duration(i) * 5 * time.Minute)
+		if err := store.WriteSnapshot(wmap.Europe, at, dataset.ExtYAML, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(snapshots * len(data)))
+			for i := 0; i < b.N; i++ {
+				n := 0
+				err := store.WalkMapsParallel(context.Background(), wmap.Europe, workers, func(m *wmap.Map) error {
+					n++
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != snapshots {
+					b.Fatalf("walked %d", n)
+				}
+			}
+		})
 	}
 }
 

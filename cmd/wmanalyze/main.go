@@ -17,11 +17,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"ovhweather/internal/analysis"
@@ -41,6 +45,7 @@ func main() {
 		useSim  = flag.Bool("sim", false, "analyze the simulator directly instead of a dataset")
 		mapStr  = flag.String("map", "europe", "map analyzed in Figures 4-6")
 		figures = flag.String("figures", "all", "comma-separated subset: 1,2,3,4,5,6 or all")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "YAML-decoding worker-pool size (1 = sequential)")
 		simStep = flag.Duration("sim-step", 6*time.Hour, "sampling step in -sim mode")
 	)
 	flag.Parse()
@@ -58,6 +63,9 @@ func main() {
 	}
 	sel := func(f string) bool { return want["all"] || want[f] }
 	out := os.Stdout
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var store *dataset.Store
 	if *dir != "" {
@@ -96,7 +104,9 @@ func main() {
 			}
 		}
 		return func(yield func(*wmap.Map) error) error {
-			return store.WalkMaps(id, func(m *wmap.Map) error {
+			// Snapshots decode on a worker pool; the reorder buffer keeps
+			// the yield order chronological, as the analyses require.
+			return store.WalkMapsParallel(ctx, id, *workers, func(m *wmap.Map) error {
 				if m.Time.Before(from) || m.Time.After(to) {
 					return nil
 				}

@@ -4,17 +4,27 @@
 // next to the original. Unprocessable files are counted by failure class,
 // reproducing the paper's accounting of invalid and incomplete snapshots.
 //
+// Snapshots are independent, so the pipeline fans out to a worker pool;
+// -workers 1 reproduces the sequential behaviour exactly. Ctrl-C cancels
+// the run cleanly: no new snapshots are scheduled, in-flight workers drain,
+// and the store is left resumable (atomic writes, no half-written YAML).
+//
 // Usage:
 //
-//	wmparse -data DIR [-maps europe,...] [-threshold 40] [-quiet]
+//	wmparse -data DIR [-maps europe,...] [-workers N] [-threshold 40] [-quiet]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 
 	"ovhweather/internal/dataset"
 	"ovhweather/internal/extract"
@@ -28,6 +38,7 @@ func main() {
 	var (
 		dir       = flag.String("data", "", "dataset directory (required)")
 		mapsStr   = flag.String("maps", "europe,world,north-america,asia-pacific", "maps to process")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size (1 = sequential)")
 		threshold = flag.Float64("threshold", 40, "label attribution distance threshold (px)")
 		colors    = flag.Bool("verify-colors", false, "cross-check load percentages against arrow colors")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
@@ -45,6 +56,9 @@ func main() {
 	opt.LabelThreshold = *threshold
 	opt.VerifyColors = *colors
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	exitCode := 0
 	for _, s := range strings.Split(*mapsStr, ",") {
 		id, err := wmap.ParseMapID(s)
@@ -56,12 +70,20 @@ func main() {
 				fmt.Fprintf(os.Stderr, "\r%s: %d/%d", id, done, total)
 			}
 		}
-		rep, err := store.ProcessMap(id, opt, progress)
-		if err != nil {
-			log.Fatal(err)
-		}
+		rep, err := store.ProcessMapParallel(ctx, id, dataset.ProcessOptions{
+			Workers:  *workers,
+			Extract:  opt,
+			Progress: progress,
+		})
 		if !*quiet {
 			fmt.Fprintln(os.Stderr)
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Printf("%s (interrupted)", rep)
+				log.Fatal("interrupted")
+			}
+			log.Fatal(err)
 		}
 		log.Print(rep)
 		if rep.Failed() > 0 {

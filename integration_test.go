@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -75,9 +76,20 @@ func TestPipelineEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Process: every map, with failure accounting.
-	for _, id := range wmap.AllMaps() {
-		rep, err := store.ProcessMap(id, extract.DefaultOptions(), nil)
+	// Process: every map, with failure accounting. Alternate between the
+	// sequential and the worker-pool entry points — their reports must be
+	// interchangeable.
+	for i, id := range wmap.AllMaps() {
+		var rep dataset.ProcessReport
+		var err error
+		if i%2 == 0 {
+			rep, err = store.ProcessMap(id, extract.DefaultOptions(), nil)
+		} else {
+			rep, err = store.ProcessMapParallel(context.Background(), id, dataset.ProcessOptions{
+				Workers: 4,
+				Extract: extract.DefaultOptions(),
+			})
+		}
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,9 +129,10 @@ func TestPipelineEndToEnd(t *testing.T) {
 		t.Errorf("world coverage = %+v", cov)
 	}
 
-	// Dataset-backed analysis agrees with simulator ground truth.
+	// Dataset-backed analysis agrees with simulator ground truth; the
+	// parallel walk must feed the analysis exactly like WalkMaps would.
 	dsStream := func(yield func(*wmap.Map) error) error {
-		return store.WalkMaps(wmap.Europe, yield)
+		return store.WalkMapsParallel(context.Background(), wmap.Europe, 4, yield)
 	}
 	loads, err := analysis.LoadCDF(dsStream)
 	if err != nil {

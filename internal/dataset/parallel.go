@@ -1,0 +1,216 @@
+// The concurrent processing layer: the paper's pipeline turns ~695k
+// five-minute SVG snapshots into YAML topologies, and both directions of
+// that conversion are embarrassingly parallel per input — each snapshot's
+// extract→marshal→write chain (and each YAML decode on the way back) touches
+// only its own files. ProcessMapParallel fans snapshots out to a bounded
+// worker pool; WalkMapsParallel decodes concurrently but hands results to
+// the fold function in chronological order through a sliding-window reorder
+// buffer. Both thread a context through so a failing walk or Ctrl-C aborts
+// in-flight workers cleanly.
+//
+// Concurrency contract: a Store holds no mutable state — every method may be
+// called concurrently. WriteSnapshot stays atomic (temp file + rename), so
+// concurrent writers of the same snapshot are last-writer-wins with no torn
+// files, and cancellation can never leave a half-written YAML behind.
+package dataset
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ovhweather/internal/extract"
+	"ovhweather/internal/wmap"
+)
+
+// ProcessOptions configures a batch-processing run.
+type ProcessOptions struct {
+	// Workers is the worker-pool size; zero or negative means
+	// runtime.GOMAXPROCS(0). Workers == 1 reproduces the sequential
+	// ProcessMap behaviour exactly, including the progress-call sequence.
+	Workers int
+
+	// Extract tunes Algorithms 1 and 2 (see extract.Options).
+	Extract extract.Options
+
+	// Progress, when non-nil, observes completion: it is called once with
+	// (0, total) before processing starts and once after every finished
+	// snapshot with a monotonically increasing done count. Calls are
+	// serialized; Progress must not call back into the processing run.
+	Progress func(done, total int)
+}
+
+func (o ProcessOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// ProcessMapParallel is ProcessMap with a bounded worker pool: snapshot
+// entries fan out to opt.Workers goroutines, each running the independent
+// extract→marshal→write chain, and the per-class counters are aggregated
+// under a mutex. Because every counter is a commutative sum, the resulting
+// ProcessReport is deterministic regardless of scheduling.
+//
+// Cancelling ctx stops scheduling new snapshots, drains the in-flight
+// workers, and returns ctx.Err() with the partial report. Snapshots already
+// fully written stay in place (the run is resumable — existing YAMLs count
+// as processed on the next run) and WriteSnapshot's atomicity guarantees no
+// half-written YAML survives the abort.
+func (s *Store) ProcessMapParallel(ctx context.Context, id wmap.MapID, opt ProcessOptions) (ProcessReport, error) {
+	rep := ProcessReport{Map: id}
+	entries, err := s.Index(id, ExtSVG)
+	if err != nil {
+		return rep, err
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	total := len(entries)
+	workers := opt.workers()
+	if workers > total && total > 0 {
+		workers = total
+	}
+	if opt.Progress != nil {
+		opt.Progress(0, total)
+	}
+
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	jobs := make(chan Entry)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := range jobs {
+				out := s.processSnapshot(id, e.Time, opt.Extract)
+				mu.Lock()
+				out.count(&rep)
+				done++
+				if opt.Progress != nil {
+					opt.Progress(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	var schedErr error
+schedule:
+	for _, e := range entries {
+		select {
+		case jobs <- e:
+		case <-ctx.Done():
+			schedErr = ctx.Err()
+			break schedule
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return rep, schedErr
+}
+
+// WalkMapsParallel is WalkMaps with concurrent decoding: workers goroutines
+// load and unmarshal YAML snapshots while fn still receives every map in
+// chronological order. Ordering is restored by a sliding-window reorder
+// buffer — each snapshot's result travels through its own one-slot channel,
+// and the delivery loop consumes those channels in index order, so at most
+// window (2×workers) decoded snapshots are ever held ahead of the fold.
+//
+// A decoding failure or an error from fn cancels the in-flight workers and
+// is returned; cancelling ctx aborts the walk with ctx.Err(). workers <= 0
+// means runtime.GOMAXPROCS(0); workers == 1 behaves like WalkMaps.
+func (s *Store) WalkMapsParallel(ctx context.Context, id wmap.MapID, workers int, fn func(*wmap.Map) error) error {
+	entries, err := s.Index(id, ExtYAML)
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(entries) && len(entries) > 0 {
+		workers = len(entries)
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+
+	type slot struct {
+		m   *wmap.Map
+		err error
+	}
+	type job struct {
+		entry Entry
+		out   chan slot // capacity 1: the worker's send never blocks
+	}
+
+	// The scheduler feeds jobs in chronological order and parks each job's
+	// result channel in pending; the buffered pending channel is the reorder
+	// window that bounds how far decoding may run ahead of delivery.
+	window := 2 * workers
+	pending := make(chan job, window)
+	jobs := make(chan job)
+	go func() {
+		defer close(pending)
+		defer close(jobs)
+		for _, e := range entries {
+			j := job{entry: e, out: make(chan slot, 1)}
+			select {
+			case pending <- j:
+			case <-wctx.Done():
+				return
+			}
+			select {
+			case jobs <- j:
+			case <-wctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case j, ok := <-jobs:
+					if !ok {
+						return
+					}
+					m, err := s.LoadMap(id, j.entry.Time)
+					j.out <- slot{m: m, err: err}
+				case <-wctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	// Tear down on every return path: cancel first (LIFO) so in-flight
+	// workers stop, then wait for them before the walk returns.
+	defer wg.Wait()
+	defer cancel()
+
+	for j := range pending {
+		var sl slot
+		select {
+		case sl = <-j.out:
+		case <-wctx.Done():
+			return ctx.Err()
+		}
+		if sl.err != nil {
+			return fmt.Errorf("dataset: %s at %s: %w", id, j.entry.Time, sl.err)
+		}
+		if err := fn(sl.m); err != nil {
+			return err
+		}
+	}
+	// A cancelled ctx can close pending before every entry was scheduled, so
+	// a completed drain still reports the cancellation, not success.
+	return ctx.Err()
+}

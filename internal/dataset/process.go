@@ -2,11 +2,13 @@ package dataset
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"ovhweather/internal/extract"
+	"ovhweather/internal/svg"
 	"ovhweather/internal/wmap"
 )
 
@@ -15,15 +17,16 @@ import (
 type ProcessReport struct {
 	Map       wmap.MapID
 	Processed int // SVGs successfully converted
-	ScanFail  int // invalid SVG / malformed attributes (Algorithm 1 failures)
+	ScanFail  int // malformed attributes / structural violations (Algorithm 1 failures)
 	AttrFail  int // missing elements / no intersections (Algorithm 2 failures)
+	XMLFail   int // XML-reader failures: truncated or non-XML documents
 	WriteFail int
 	OtherFail int
 }
 
 // Total returns the number of input files considered.
 func (r ProcessReport) Total() int {
-	return r.Processed + r.ScanFail + r.AttrFail + r.WriteFail + r.OtherFail
+	return r.Processed + r.ScanFail + r.AttrFail + r.XMLFail + r.WriteFail + r.OtherFail
 }
 
 // Failed returns the number of unprocessable files.
@@ -31,69 +34,107 @@ func (r ProcessReport) Failed() int { return r.Total() - r.Processed }
 
 // String summarizes the report on one line.
 func (r ProcessReport) String() string {
-	return fmt.Sprintf("%s: %d/%d processed (%d scan, %d attribution, %d write, %d other failures)",
-		r.Map, r.Processed, r.Total(), r.ScanFail, r.AttrFail, r.WriteFail, r.OtherFail)
+	return fmt.Sprintf("%s: %d/%d processed (%d scan, %d attribution, %d xml, %d write, %d other failures)",
+		r.Map, r.Processed, r.Total(), r.ScanFail, r.AttrFail, r.XMLFail, r.WriteFail, r.OtherFail)
+}
+
+// outcome is the failure class of one processed snapshot, mapping onto the
+// ProcessReport counters.
+type outcome int
+
+const (
+	outProcessed outcome = iota
+	outScanFail
+	outAttrFail
+	outXMLFail
+	outWriteFail
+	outOtherFail
+)
+
+// count increments the report counter the outcome belongs to.
+func (o outcome) count(rep *ProcessReport) {
+	switch o {
+	case outProcessed:
+		rep.Processed++
+	case outScanFail:
+		rep.ScanFail++
+	case outAttrFail:
+		rep.AttrFail++
+	case outXMLFail:
+		rep.XMLFail++
+	case outWriteFail:
+		rep.WriteFail++
+	default:
+		rep.OtherFail++
+	}
+}
+
+// classify maps an extraction error onto its failure class. The paper's
+// taxonomy: structural violations and malformed attribute values are
+// Algorithm 1 (scan) failures, failed geometric attributions are Algorithm 2
+// failures, and documents the XML reader itself rejects — truncated
+// downloads, non-XML payloads — are counted separately as XML failures.
+func classify(err error) outcome {
+	var scanErr *extract.ScanError
+	var attrErr *extract.AttributeError
+	var readErr *svg.ReadError
+	var valErr *svg.ValueError
+	switch {
+	case errors.As(err, &scanErr):
+		return outScanFail
+	case errors.As(err, &attrErr):
+		return outAttrFail
+	case errors.Is(err, extract.ErrNotWeathermap):
+		return outScanFail
+	case errors.As(err, &valErr):
+		// Malformed attribute values on well-formed XML are the paper's
+		// "invalid SVG" scan-failure class.
+		return outScanFail
+	case errors.As(err, &readErr):
+		return outXMLFail
+	default:
+		return outOtherFail
+	}
+}
+
+// processSnapshot runs the per-file chain — skip if already processed, read,
+// extract, marshal, write — and returns the outcome. It touches no shared
+// state, which is what makes ProcessMap embarrassingly parallel per input.
+func (s *Store) processSnapshot(id wmap.MapID, at time.Time, opt extract.Options) outcome {
+	if _, err := s.ReadSnapshot(id, at, ExtYAML); err == nil {
+		return outProcessed // already processed in an earlier run
+	}
+	data, err := s.ReadSnapshot(id, at, ExtSVG)
+	if err != nil {
+		return outOtherFail
+	}
+	m, err := extract.ExtractSVG(bytes.NewReader(data), id, at, opt)
+	if err != nil {
+		return classify(err)
+	}
+	out, err := extract.MarshalYAML(m)
+	if err != nil {
+		return outOtherFail
+	}
+	if err := s.WriteSnapshot(id, at, ExtYAML, out); err != nil {
+		return outWriteFail
+	}
+	return outProcessed
 }
 
 // ProcessMap converts every stored SVG snapshot of one map into its YAML
 // counterpart, skipping snapshots whose YAML already exists. Unprocessable
 // files are counted by failure class and left in place, exactly as the
 // paper keeps its malformed originals.
+//
+// ProcessMap is the sequential entry point; ProcessMapParallel fans the
+// same per-snapshot chain out to a worker pool.
 func (s *Store) ProcessMap(id wmap.MapID, opt extract.Options, progress func(done, total int)) (ProcessReport, error) {
-	rep := ProcessReport{Map: id}
-	entries, err := s.Index(id, ExtSVG)
-	if err != nil {
-		return rep, err
-	}
-	for i, e := range entries {
-		if progress != nil {
-			progress(i, len(entries))
-		}
-		if _, err := s.ReadSnapshot(id, e.Time, ExtYAML); err == nil {
-			rep.Processed++ // already processed in an earlier run
-			continue
-		}
-		data, err := s.ReadSnapshot(id, e.Time, ExtSVG)
-		if err != nil {
-			rep.OtherFail++
-			continue
-		}
-		m, err := extract.ExtractSVG(bytes.NewReader(data), id, e.Time, opt)
-		if err != nil {
-			classify(&rep, err)
-			continue
-		}
-		out, err := extract.MarshalYAML(m)
-		if err != nil {
-			rep.OtherFail++
-			continue
-		}
-		if err := s.WriteSnapshot(id, e.Time, ExtYAML, out); err != nil {
-			rep.WriteFail++
-			continue
-		}
-		rep.Processed++
-	}
-	if progress != nil {
-		progress(len(entries), len(entries))
-	}
-	return rep, nil
-}
-
-func classify(rep *ProcessReport, err error) {
-	var scanErr *extract.ScanError
-	var attrErr *extract.AttributeError
-	switch {
-	case errors.As(err, &scanErr):
-		rep.ScanFail++
-	case errors.As(err, &attrErr):
-		rep.AttrFail++
-	case errors.Is(err, extract.ErrNotWeathermap):
-		rep.ScanFail++
-	default:
-		// XML-level failures from the SVG reader land here.
-		rep.ScanFail++
-	}
+	return s.ProcessMapParallel(context.Background(), id, ProcessOptions{
+		Workers:  1,
+		Extract:  opt,
+		Progress: progress,
+	})
 }
 
 // LoadMap reads and decodes one processed YAML snapshot.
@@ -107,6 +148,9 @@ func (s *Store) LoadMap(id wmap.MapID, at time.Time) (*wmap.Map, error) {
 
 // WalkMaps loads every processed snapshot of one map in chronological
 // order, invoking fn for each. Decoding failures abort the walk.
+//
+// WalkMaps is the sequential entry point; WalkMapsParallel decodes
+// concurrently while preserving the chronological delivery order.
 func (s *Store) WalkMaps(id wmap.MapID, fn func(*wmap.Map) error) error {
 	entries, err := s.Index(id, ExtYAML)
 	if err != nil {

@@ -28,6 +28,14 @@ const (
 )
 
 // Store is a dataset rooted at a directory.
+//
+// A Store holds no mutable in-memory state, so every method is safe for
+// concurrent use. The one shared medium is the filesystem: WriteSnapshot is
+// atomic (temp file + rename within the destination directory), so readers
+// never observe a half-written snapshot and concurrent writers of the same
+// snapshot resolve to last-writer-wins with no torn files. This invariant is
+// what the parallel processing layer (ProcessMapParallel, WalkMapsParallel)
+// and any external concurrent readers rely on; race_test.go exercises it.
 type Store struct {
 	root string
 }

@@ -16,6 +16,38 @@ import (
 // their own, which is how the weather map attaches the "object ..." class to
 // a router's rect and text.
 //
+// ReadError wraps a failure of the underlying XML reader: a syntax error,
+// unbalanced or mismatched tags, or a document with no <svg> root. These are
+// transport-level corruptions (truncated downloads, non-XML payloads) rather
+// than weather-map structural violations, which extract reports separately
+// as ScanError.
+type ReadError struct{ Err error }
+
+func (e *ReadError) Error() string { return "svg: " + e.Err.Error() }
+
+// Unwrap exposes the underlying reader error to errors.Is/As.
+func (e *ReadError) Unwrap() error { return e.Err }
+
+func readErrorf(format string, args ...any) error {
+	return &ReadError{Err: fmt.Errorf(format, args...)}
+}
+
+// ValueError reports a malformed attribute value on an otherwise
+// well-formed element — the paper's "malformed attribute values"
+// unprocessable-file class.
+type ValueError struct {
+	Attr   string
+	Value  string
+	Reason string // optional detail, e.g. "odd number of coordinates"
+}
+
+func (e *ValueError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("svg: malformed attribute %s=%q: %s", e.Attr, e.Value, e.Reason)
+	}
+	return fmt.Sprintf("svg: malformed attribute %s=%q", e.Attr, e.Value)
+}
+
 // Parse is the DOM-style entry point; Stream is the streaming equivalent.
 func Parse(r io.Reader) ([]Element, error) {
 	var out []Element
@@ -64,12 +96,12 @@ func Stream(r io.Reader, fn func(Element) error) error {
 		tok, err := dec.Token()
 		if err == io.EOF {
 			if !sawRoot {
-				return fmt.Errorf("svg: document contains no <svg> root")
+				return readErrorf("document contains no <svg> root")
 			}
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("svg: %w", err)
+			return &ReadError{Err: err}
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -122,12 +154,12 @@ func Stream(r io.Reader, fn func(Element) error) error {
 		case xml.EndElement:
 			name := Tag(t.Name.Local)
 			if len(stack) == 0 {
-				return fmt.Errorf("svg: unbalanced </%s>", name)
+				return readErrorf("unbalanced </%s>", name)
 			}
 			top := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if top.tag != name {
-				return fmt.Errorf("svg: mismatched </%s>, open element is <%s>", name, top.tag)
+				return readErrorf("mismatched </%s>, open element is <%s>", name, top.tag)
 			}
 			if pending != nil && pending.Tag == name {
 				if err := fn(*pending); err != nil {
@@ -206,7 +238,7 @@ func floatAttr(attrs map[string]string, name string) (float64, error) {
 	v = strings.TrimSuffix(strings.TrimSpace(v), "px")
 	f, err := strconv.ParseFloat(v, 64)
 	if err != nil {
-		return 0, fmt.Errorf("svg: malformed attribute %s=%q", name, attrs[name])
+		return 0, &ValueError{Attr: name, Value: attrs[name]}
 	}
 	return f, nil
 }

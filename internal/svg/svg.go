@@ -77,17 +77,17 @@ func ParsePoints(s string) (geom.Polygon, error) {
 		return r == ' ' || r == ',' || r == '\t' || r == '\n' || r == '\r'
 	})
 	if len(fields)%2 != 0 {
-		return nil, fmt.Errorf("svg: odd number of coordinates in points %q", s)
+		return nil, &ValueError{Attr: "points", Value: s, Reason: "odd number of coordinates"}
 	}
 	pg := make(geom.Polygon, 0, len(fields)/2)
 	for i := 0; i < len(fields); i += 2 {
 		x, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return nil, fmt.Errorf("svg: bad x coordinate %q: %w", fields[i], err)
+			return nil, &ValueError{Attr: "points", Value: s, Reason: fmt.Sprintf("bad x coordinate %q", fields[i])}
 		}
 		y, err := strconv.ParseFloat(fields[i+1], 64)
 		if err != nil {
-			return nil, fmt.Errorf("svg: bad y coordinate %q: %w", fields[i+1], err)
+			return nil, &ValueError{Attr: "points", Value: s, Reason: fmt.Sprintf("bad y coordinate %q", fields[i+1])}
 		}
 		pg = append(pg, geom.Pt(x, y))
 	}
