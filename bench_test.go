@@ -467,6 +467,60 @@ func BenchmarkAblationStreamVsDOM(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationLexerVsStd compares the zero-allocation fast lexer
+// against the encoding/xml decoder on the same Europe document — the
+// tentpole speedup, isolated from Algorithm 1. Both variants run over
+// in-memory bytes so the delta is pure parsing cost.
+func BenchmarkAblationLexerVsStd(b *testing.B) {
+	f := getFixture(b)
+	count := func(e svg.Element) error { return nil }
+	b.Run("fast-lexer", func(b *testing.B) {
+		b.SetBytes(int64(len(f.europeSVG)))
+		for i := 0; i < b.N; i++ {
+			if err := svg.StreamBytes(f.europeSVG, count); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encoding-xml", func(b *testing.B) {
+		b.SetBytes(int64(len(f.europeSVG)))
+		for i := 0; i < b.N; i++ {
+			if err := svg.StreamStd(bytes.NewReader(f.europeSVG), count); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAttributionCache compares a cache hit (topology fingerprint
+// match, loads spliced) against running Algorithm 2 — the steady-state
+// saving on a timeline where consecutive snapshots share their topology.
+func BenchmarkAttributionCache(b *testing.B) {
+	f := getFixture(b)
+	b.Run("hit", func(b *testing.B) {
+		cache := extract.NewAttributionCache(extract.DefaultOptions())
+		if _, err := cache.Attribute(f.europeRes, wmap.Europe, f.sc.End); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Attribute(f.europeRes, wmap.Europe, f.sc.End); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if cache.Hits() != b.N {
+			b.Fatalf("hits = %d, want %d", cache.Hits(), b.N)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := extract.Attribute(f.europeRes, wmap.Europe, f.sc.End, extract.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAblationLabelConsumption compares Algorithm 2 with and without
 // the label-consumption rule (line 9). Disabling consumption must produce
 // duplicate label assignments on parallel-link groups with shared label

@@ -10,6 +10,8 @@
 //	Figure 5 — load distributions and ECMP imbalance
 //	Figure 6 — the AMS-IX link-upgrade case study
 //
+// -cpuprofile and -memprofile write pprof profiles of the run.
+//
 // Usage:
 //
 //	wmanalyze -data DIR [-map europe] [-figures all|1,2,4c,...]
@@ -32,33 +34,70 @@ import (
 	"ovhweather/internal/dataset"
 	"ovhweather/internal/netsim"
 	"ovhweather/internal/peeringdb"
+	"ovhweather/internal/prof"
 	"ovhweather/internal/status"
 	"ovhweather/internal/wmap"
 )
+
+// config carries the parsed flags into run.
+type config struct {
+	dir     string
+	useSim  bool
+	mapStr  string
+	figures string
+	workers int
+	simStep time.Duration
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wmanalyze: ")
 
 	var (
-		dir     = flag.String("data", "", "processed dataset directory")
-		useSim  = flag.Bool("sim", false, "analyze the simulator directly instead of a dataset")
-		mapStr  = flag.String("map", "europe", "map analyzed in Figures 4-6")
-		figures = flag.String("figures", "all", "comma-separated subset: 1,2,3,4,5,6 or all")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "YAML-decoding worker-pool size (1 = sequential)")
-		simStep = flag.Duration("sim-step", 6*time.Hour, "sampling step in -sim mode")
+		cfg      config
+		profiles prof.Profiles
 	)
+	flag.StringVar(&cfg.dir, "data", "", "processed dataset directory")
+	flag.BoolVar(&cfg.useSim, "sim", false, "analyze the simulator directly instead of a dataset")
+	flag.StringVar(&cfg.mapStr, "map", "europe", "map analyzed in Figures 4-6")
+	flag.StringVar(&cfg.figures, "figures", "all", "comma-separated subset: 1,2,3,4,5,6 or all")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "YAML-decoding worker-pool size (1 = sequential)")
+	flag.DurationVar(&cfg.simStep, "sim-step", 6*time.Hour, "sampling step in -sim mode")
+	flag.StringVar(&profiles.CPU, "cpuprofile", "", "write a pprof CPU profile to `file`")
+	flag.StringVar(&profiles.Mem, "memprofile", "", "write a pprof heap profile to `file`")
 	flag.Parse()
-	if *dir == "" && !*useSim {
+	if cfg.dir == "" && !cfg.useSim {
 		flag.Usage()
 		log.Fatal("need -data or -sim")
 	}
-	id, err := wmap.ParseMapID(*mapStr)
+
+	// Failures below this point route through run() so the deferred profile
+	// flush still happens; log.Fatal would exit before the profiles are
+	// written.
+	stopProf, err := prof.Start(profiles)
 	if err != nil {
 		log.Fatal(err)
 	}
+	err = run(cfg)
+	code := 0
+	if perr := stopProf(); perr != nil {
+		log.Print(perr)
+		code = 1
+	}
+	if err != nil {
+		log.Print(err)
+		code = 1
+	}
+	os.Exit(code)
+}
+
+func run(cfg config) error {
+	id, err := wmap.ParseMapID(cfg.mapStr)
+	if err != nil {
+		return err
+	}
 	want := map[string]bool{}
-	for _, f := range strings.Split(*figures, ",") {
+	for _, f := range strings.Split(cfg.figures, ",") {
 		want[strings.TrimSpace(f)] = true
 	}
 	sel := func(f string) bool { return want["all"] || want[f] }
@@ -68,16 +107,16 @@ func main() {
 	defer stop()
 
 	var store *dataset.Store
-	if *dir != "" {
-		if store, err = dataset.Open(*dir); err != nil {
-			log.Fatal(err)
+	if cfg.dir != "" {
+		if store, err = dataset.Open(cfg.dir); err != nil {
+			return err
 		}
 	}
 	sc := netsim.DefaultScenario()
 	var sim *netsim.Simulator
-	if *useSim {
+	if cfg.useSim {
 		if sim, err = netsim.New(sc); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
@@ -106,7 +145,7 @@ func main() {
 		return func(yield func(*wmap.Map) error) error {
 			// Snapshots decode on a worker pool; the reorder buffer keeps
 			// the yield order chronological, as the analyses require.
-			return store.WalkMapsParallel(ctx, id, *workers, func(m *wmap.Map) error {
+			return store.WalkMapsParallel(ctx, id, cfg.workers, func(m *wmap.Map) error {
 				if m.Time.Before(from) || m.Time.After(to) {
 					return nil
 				}
@@ -119,34 +158,34 @@ func main() {
 		analysis.Banner(out, "Table 1 — network size per map ("+sc.End.Format("2006-01-02")+")")
 		maps, err := snapshotAll(sim, store, sc)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		rows, total := analysis.Table1(maps)
 		if err := analysis.WriteTable1(out, rows, total); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	if sel("2") && store != nil {
 		analysis.Banner(out, "Table 2 — collected and processed files")
 		sum, err := store.Summarize()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := analysis.WriteTable2(out, sum); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		analysis.Banner(out, "Figures 2 and 3 — collection quality")
 		for _, mid := range wmap.AllMaps() {
 			cov, err := store.CoverageOf(mid, dataset.ExtSVG)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if sel("2") {
 				analysis.WriteCoverage(out, cov)
 			}
 			dist, err := store.IntervalsOf(mid, dataset.ExtSVG)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if sel("3") || sel("2") {
 				analysis.WriteIntervals(out, dist)
@@ -157,17 +196,17 @@ func main() {
 		analysis.Banner(out, "Figure 4 — infrastructure evolution ("+id.Title()+")")
 		infra, err := analysis.Infrastructure(stream(sc.Start, sc.End, 7*24*time.Hour))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		analysis.WriteInfraSeries(out, infra, 60*24*time.Hour)
 		var last *wmap.Map
 		if err := stream(sc.End, sc.End, time.Hour)(func(m *wmap.Map) error { last = m; return nil }); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if last != nil {
 			deg, err := analysis.DegreeCCDF(last)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			analysis.WriteDegreeCCDF(out, deg)
 		}
@@ -176,7 +215,7 @@ func main() {
 		analysis.WriteMaintenance(out, corr)
 		growth, err := analysis.SiteGrowthStudy(stream(sc.Start, sc.End, 60*24*time.Hour))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		analysis.WriteSiteGrowth(out, growth, 10)
 	}
@@ -184,33 +223,33 @@ func main() {
 		analysis.Banner(out, "Figure 5 — links loads ("+id.Title()+")")
 		from := sc.Start.AddDate(0, 6, 0)
 		to := from.AddDate(0, 0, 7)
-		step := *simStep
+		step := cfg.simStep
 		if step > time.Hour {
 			step = time.Hour
 		}
 		hourly, err := analysis.HourlyLoads(stream(from, to, step))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		analysis.WriteHourlyLoads(out, hourly)
-		loads, err := analysis.LoadCDF(stream(from, to, *simStep))
+		loads, err := analysis.LoadCDF(stream(from, to, cfg.simStep))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		analysis.WriteLoadCDF(out, loads)
-		imb, err := analysis.ImbalanceCDF(stream(from, to, *simStep), wmap.PaperImbalanceOptions())
+		imb, err := analysis.ImbalanceCDF(stream(from, to, cfg.simStep), wmap.PaperImbalanceOptions())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		analysis.WriteImbalance(out, imb)
-		cong, err := analysis.CongestionStudy(stream(from, to, *simStep), analysis.DefaultCongestionOptions())
+		cong, err := analysis.CongestionStudy(stream(from, to, cfg.simStep), analysis.DefaultCongestionOptions())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		analysis.WriteCongestion(out, cong)
-		weekly, err := analysis.WeeklyLoads(stream(from, from.AddDate(0, 0, 14), *simStep))
+		weekly, err := analysis.WeeklyLoads(stream(from, from.AddDate(0, 0, 14), cfg.simStep))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		analysis.WriteWeekly(out, weekly)
 	}
@@ -230,11 +269,12 @@ func main() {
 		to := sc.Upgrade.Activated.AddDate(0, 0, 10)
 		v, err := analysis.UpgradeStudy(stream(from, to, 2*time.Hour), sc.Upgrade.Peering, db)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		analysis.WriteUpgrade(out, v)
 	}
 	fmt.Fprintln(out)
+	return nil
 }
 
 // snapshotAll fetches all four maps at the scenario end, from the simulator

@@ -9,9 +9,14 @@
 // the run cleanly: no new snapshots are scheduled, in-flight workers drain,
 // and the store is left resumable (atomic writes, no half-written YAML).
 //
+// Parsing defaults to the zero-allocation fast lexer; -std-decoder forces
+// the encoding/xml reference path, which must produce byte-identical YAML.
+// -cpuprofile and -memprofile write pprof profiles of the run.
+//
 // Usage:
 //
-//	wmparse -data DIR [-maps europe,...] [-workers N] [-threshold 40] [-quiet]
+//	wmparse -data DIR [-maps europe,...] [-workers N] [-threshold 40]
+//	        [-std-decoder] [-cpuprofile FILE] [-memprofile FILE] [-quiet]
 package main
 
 import (
@@ -28,6 +33,8 @@ import (
 
 	"ovhweather/internal/dataset"
 	"ovhweather/internal/extract"
+	"ovhweather/internal/prof"
+	"ovhweather/internal/svg"
 	"ovhweather/internal/wmap"
 )
 
@@ -36,59 +43,87 @@ func main() {
 	log.SetPrefix("wmparse: ")
 
 	var (
-		dir       = flag.String("data", "", "dataset directory (required)")
-		mapsStr   = flag.String("maps", "europe,world,north-america,asia-pacific", "maps to process")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size (1 = sequential)")
-		threshold = flag.Float64("threshold", 40, "label attribution distance threshold (px)")
-		colors    = flag.Bool("verify-colors", false, "cross-check load percentages against arrow colors")
-		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		dir        = flag.String("data", "", "dataset directory (required)")
+		mapsStr    = flag.String("maps", "europe,world,north-america,asia-pacific", "maps to process")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size (1 = sequential)")
+		threshold  = flag.Float64("threshold", 40, "label attribution distance threshold (px)")
+		colors     = flag.Bool("verify-colors", false, "cross-check load percentages against arrow colors")
+		stdDecoder = flag.Bool("std-decoder", false, "parse with encoding/xml instead of the fast lexer")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		profiles   prof.Profiles
 	)
+	flag.StringVar(&profiles.CPU, "cpuprofile", "", "write a pprof CPU profile to `file`")
+	flag.StringVar(&profiles.Mem, "memprofile", "", "write a pprof heap profile to `file`")
 	flag.Parse()
 	if *dir == "" {
 		flag.Usage()
 		log.Fatal("missing -data")
 	}
-	store, err := dataset.Open(*dir)
+	svg.UseStdDecoder = *stdDecoder
+
+	// Failures below this point route through run() so the deferred profile
+	// flush still happens; log.Fatal would exit before the profiles are
+	// written.
+	stopProf, err := prof.Start(profiles)
 	if err != nil {
 		log.Fatal(err)
 	}
+	code, err := run(*dir, *mapsStr, *workers, *threshold, *colors, *quiet)
+	if perr := stopProf(); perr != nil {
+		log.Print(perr)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if err != nil {
+		log.Print(err)
+		code = 1
+	}
+	os.Exit(code)
+}
+
+func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool) (int, error) {
+	store, err := dataset.Open(dir)
+	if err != nil {
+		return 1, err
+	}
 	opt := extract.DefaultOptions()
-	opt.LabelThreshold = *threshold
-	opt.VerifyColors = *colors
+	opt.LabelThreshold = threshold
+	opt.VerifyColors = colors
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	exitCode := 0
-	for _, s := range strings.Split(*mapsStr, ",") {
+	for _, s := range strings.Split(mapsStr, ",") {
 		id, err := wmap.ParseMapID(s)
 		if err != nil {
-			log.Fatal(err)
+			return 1, err
 		}
 		progress := func(done, total int) {
-			if !*quiet && total > 0 && done%500 == 0 {
+			if !quiet && total > 0 && done%500 == 0 {
 				fmt.Fprintf(os.Stderr, "\r%s: %d/%d", id, done, total)
 			}
 		}
 		rep, err := store.ProcessMapParallel(ctx, id, dataset.ProcessOptions{
-			Workers:  *workers,
+			Workers:  workers,
 			Extract:  opt,
 			Progress: progress,
 		})
-		if !*quiet {
+		if !quiet {
 			fmt.Fprintln(os.Stderr)
 		}
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				log.Printf("%s (interrupted)", rep)
-				log.Fatal("interrupted")
+				return 1, errors.New("interrupted")
 			}
-			log.Fatal(err)
+			return 1, err
 		}
 		log.Print(rep)
 		if rep.Failed() > 0 {
 			exitCode = 1
 		}
 	}
-	os.Exit(exitCode)
+	return exitCode, nil
 }

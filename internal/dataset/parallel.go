@@ -87,8 +87,14 @@ func (s *Store) ProcessMapParallel(ctx context.Context, id wmap.MapID, opt Proce
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker attribution cache and scratch buffers: each worker
+			// consumes snapshots in roughly chronological order, so
+			// consecutive jobs usually share a topology and hit the cache.
+			// Worker-local state also keeps the hot loop lock-free.
+			cache := extract.NewAttributionCache(opt.Extract)
+			scr := &procScratch{}
 			for e := range jobs {
-				out := s.processSnapshot(id, e.Time, opt.Extract)
+				out := s.processSnapshot(id, e.Time, cache, scr)
 				mu.Lock()
 				out.count(&rep)
 				done++
@@ -97,6 +103,10 @@ func (s *Store) ProcessMapParallel(ctx context.Context, id wmap.MapID, opt Proce
 				}
 				mu.Unlock()
 			}
+			mu.Lock()
+			rep.CacheHits += cache.Hits()
+			rep.CacheMisses += cache.Misses()
+			mu.Unlock()
 		}()
 	}
 

@@ -1,7 +1,6 @@
 package dataset
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -22,6 +21,13 @@ type ProcessReport struct {
 	XMLFail   int // XML-reader failures: truncated or non-XML documents
 	WriteFail int
 	OtherFail int
+
+	// CacheHits and CacheMisses account for the attribution cache: hits are
+	// snapshots whose topology matched the worker's previous snapshot, so
+	// Algorithm 2 was skipped and only the loads were spliced in. They
+	// partition the snapshots that reached attribution, not Total().
+	CacheHits   int
+	CacheMisses int
 }
 
 // Total returns the number of input files considered.
@@ -34,8 +40,9 @@ func (r ProcessReport) Failed() int { return r.Total() - r.Processed }
 
 // String summarizes the report on one line.
 func (r ProcessReport) String() string {
-	return fmt.Sprintf("%s: %d/%d processed (%d scan, %d attribution, %d xml, %d write, %d other failures)",
-		r.Map, r.Processed, r.Total(), r.ScanFail, r.AttrFail, r.XMLFail, r.WriteFail, r.OtherFail)
+	return fmt.Sprintf("%s: %d/%d processed (%d scan, %d attribution, %d xml, %d write, %d other failures; attribution cache %d hits / %d misses)",
+		r.Map, r.Processed, r.Total(), r.ScanFail, r.AttrFail, r.XMLFail, r.WriteFail, r.OtherFail,
+		r.CacheHits, r.CacheMisses)
 }
 
 // outcome is the failure class of one processed snapshot, mapping onto the
@@ -97,18 +104,34 @@ func classify(err error) outcome {
 	}
 }
 
+// procScratch is one worker's reusable per-snapshot state: the raw-SVG read
+// buffer and the Algorithm 1 result slices. Together with the attribution
+// cache it makes the steady-state loop allocate almost nothing per snapshot.
+type procScratch struct {
+	buf []byte
+	res extract.ScanResult
+}
+
 // processSnapshot runs the per-file chain — skip if already processed, read,
-// extract, marshal, write — and returns the outcome. It touches no shared
-// state, which is what makes ProcessMap embarrassingly parallel per input.
-func (s *Store) processSnapshot(id wmap.MapID, at time.Time, opt extract.Options) outcome {
-	if _, err := s.ReadSnapshot(id, at, ExtYAML); err == nil {
+// extract, marshal, write — and returns the outcome. It shares no state
+// across snapshots except cache and scr, which belong to exactly one worker;
+// that is what makes ProcessMap embarrassingly parallel per input.
+func (s *Store) processSnapshot(id wmap.MapID, at time.Time, cache *extract.AttributionCache, scr *procScratch) outcome {
+	if s.HasSnapshot(id, at, ExtYAML) {
 		return outProcessed // already processed in an earlier run
 	}
-	data, err := s.ReadSnapshot(id, at, ExtSVG)
+	data, err := s.ReadSnapshotInto(scr.buf, id, at, ExtSVG)
+	scr.buf = data
 	if err != nil {
 		return outOtherFail
 	}
-	m, err := extract.ExtractSVG(bytes.NewReader(data), id, at, opt)
+	if err := extract.ScanBytesInto(&scr.res, data, extract.ScanOptions{VerifyColors: cache.Options().VerifyColors}); err != nil {
+		return classify(err)
+	}
+	if len(scr.res.Routers) == 0 && len(scr.res.Links) == 0 {
+		return classify(extract.ErrNotWeathermap)
+	}
+	m, err := cache.Attribute(&scr.res, id, at)
 	if err != nil {
 		return classify(err)
 	}

@@ -12,6 +12,7 @@ package dataset
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -99,6 +100,40 @@ func (s *Store) ReadSnapshot(id wmap.MapID, at time.Time, ext string) ([]byte, e
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
 	return data, nil
+}
+
+// HasSnapshot reports whether the snapshot file exists, without reading it.
+// The batch processor uses this for its already-processed skip: a Stat is
+// enough, and on a 695k-file dataset re-reading every YAML just to discard
+// it would dominate a resumed run.
+func (s *Store) HasSnapshot(id wmap.MapID, at time.Time, ext string) bool {
+	info, err := os.Stat(s.SnapshotPath(id, at, ext))
+	return err == nil && info.Mode().IsRegular()
+}
+
+// ReadSnapshotInto is ReadSnapshot reusing buf's capacity, for callers that
+// read many snapshots in a loop. It returns the (possibly grown) buffer;
+// the data is valid until the next reuse.
+func (s *Store) ReadSnapshotInto(buf []byte, id wmap.MapID, at time.Time, ext string) ([]byte, error) {
+	f, err := os.Open(s.SnapshotPath(id, at, ext))
+	if err != nil {
+		return buf[:0], fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := f.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf[:0], fmt.Errorf("dataset: %w", err)
+		}
+	}
 }
 
 // Entry describes one indexed snapshot file.

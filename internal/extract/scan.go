@@ -58,6 +58,14 @@ type ScanResult struct {
 	Labels  []RawLabel
 }
 
+// Reset empties the result while keeping its capacity, so the worker-pool
+// path can reuse one ScanResult per worker across snapshots.
+func (r *ScanResult) Reset() {
+	r.Routers = r.Routers[:0]
+	r.Links = r.Links[:0]
+	r.Labels = r.Labels[:0]
+}
+
 // ScanError describes a structural violation found while scanning.
 type ScanError struct {
 	Reason string
@@ -91,13 +99,44 @@ func Scan(r io.Reader) (*ScanResult, error) {
 // ScanWithOptions is Scan with explicit options.
 func ScanWithOptions(r io.Reader, opt ScanOptions) (*ScanResult, error) {
 	res := &ScanResult{}
+	err := scanInto(res, opt, func(fn func(svg.Element) error) error {
+		return svg.Stream(r, fn)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ScanBytes runs Algorithm 1 over an in-memory document.
+func ScanBytes(data []byte, opt ScanOptions) (*ScanResult, error) {
+	res := &ScanResult{}
+	if err := ScanBytesInto(res, data, opt); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ScanBytesInto is ScanBytes reusing the caller's result: res is Reset and
+// refilled, so a worker can amortize its slices across a whole map's
+// snapshots. On error res holds a partial scan and must not be used.
+func ScanBytesInto(res *ScanResult, data []byte, opt ScanOptions) error {
+	res.Reset()
+	return scanInto(res, opt, func(fn func(svg.Element) error) error {
+		return svg.StreamBytes(data, fn)
+	})
+}
+
+// scanInto is the Algorithm 1 state machine, independent of how the element
+// stream is produced.
+func scanInto(res *ScanResult, opt ScanOptions, stream func(func(svg.Element) error) error) error {
 	var (
 		pendingRouterBox *geom.Rect
 		pendingLink      *RawLink
 		loadsSeen        int
 		pendingLabel     *RawLabel
 	)
-	err := svg.Stream(r, func(e svg.Element) error {
+	err := stream(func(e svg.Element) error {
 		switch {
 		case e.ClassHasPrefix("object"):
 			// Router or peering: white box followed by its name.
@@ -165,18 +204,18 @@ func ScanWithOptions(r io.Reader, opt ScanOptions) (*ScanResult, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if pendingLink != nil {
-		return nil, scanErrorf("document ends with an incomplete link (%d loads)", loadsSeen)
+		return scanErrorf("document ends with an incomplete link (%d loads)", loadsSeen)
 	}
 	if pendingRouterBox != nil {
-		return nil, scanErrorf("document ends with an unnamed router box")
+		return scanErrorf("document ends with an unnamed router box")
 	}
 	if pendingLabel != nil {
-		return nil, scanErrorf("document ends with a textless label box")
+		return scanErrorf("document ends with a textless label box")
 	}
-	return res, nil
+	return nil
 }
 
 // ParseLoad parses a displayed load percentage such as "42 %", enforcing

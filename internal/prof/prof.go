@@ -1,0 +1,56 @@
+// Package prof wires the -cpuprofile / -memprofile flags of the CLIs to
+// runtime/pprof. It exists so every command flushes its profiles the same
+// way: the commands route their failures through a run() error instead of
+// log.Fatal, because os.Exit would skip the deferred Stop and truncate the
+// profile files.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles is the pair of output paths, empty meaning disabled.
+type Profiles struct {
+	CPU string // -cpuprofile: pprof CPU profile written during the run
+	Mem string // -memprofile: heap allocation profile written at Stop
+}
+
+// Start begins CPU profiling if requested and returns a stop function that
+// flushes both profiles. The stop function is safe to call exactly once and
+// must run before the process exits.
+func Start(p Profiles) (stop func() error, err error) {
+	var cpuFile *os.File
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if p.Mem != "" {
+			f, err := os.Create(p.Mem)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

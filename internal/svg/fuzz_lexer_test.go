@@ -1,0 +1,203 @@
+// Differential fuzzing of the fast lexer against the encoding/xml path.
+// This lives in package svg_test because the corpus seeds are rendered with
+// internal/render, which itself imports svg.
+package svg_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"ovhweather/internal/netsim"
+	"ovhweather/internal/render"
+	"ovhweather/internal/svg"
+	"ovhweather/internal/wmap"
+)
+
+// renderedCorpus renders all four backbone maps of the default scenario at
+// its end state — the same documents the pipeline processes for the paper's
+// tables.
+func renderedCorpus(tb testing.TB) map[wmap.MapID][]byte {
+	tb.Helper()
+	sc := netsim.DefaultScenario()
+	sim, err := netsim.New(sc)
+	if err != nil {
+		tb.Fatalf("netsim: %v", err)
+	}
+	maps, err := sim.SnapshotAt(sc.End)
+	if err != nil {
+		tb.Fatalf("snapshot: %v", err)
+	}
+	out := make(map[wmap.MapID][]byte, len(maps))
+	for _, m := range maps {
+		var buf bytes.Buffer
+		if err := render.Render(&buf, m, render.Options{}); err != nil {
+			tb.Fatalf("render %s: %v", m.ID, err)
+		}
+		out[m.ID] = buf.Bytes()
+	}
+	return out
+}
+
+func collectInto(dst *[]svg.Element) func(svg.Element) error {
+	return func(e svg.Element) error {
+		*dst = append(*dst, e)
+		return nil
+	}
+}
+
+// errClass buckets an error the way dataset.classify does; the fast lexer
+// must agree with the std decoder on the class even when messages differ.
+func errClass(tb testing.TB, err error) string {
+	switch err.(type) {
+	case nil:
+		return "ok"
+	case *svg.ValueError:
+		return "value"
+	case *svg.ReadError:
+		return "read"
+	default:
+		tb.Fatalf("error outside the svg taxonomy: %T %v", err, err)
+		return ""
+	}
+}
+
+func feq(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+
+func sameElement(a, b svg.Element) bool {
+	if a.Tag != b.Tag || a.Class != b.Class || a.ID != b.ID || a.Text != b.Text || a.Fill != b.Fill {
+		return false
+	}
+	if !feq(a.Rect.Min.X, b.Rect.Min.X) || !feq(a.Rect.Min.Y, b.Rect.Min.Y) ||
+		!feq(a.Rect.Max.X, b.Rect.Max.X) || !feq(a.Rect.Max.Y, b.Rect.Max.Y) ||
+		!feq(a.Pos.X, b.Pos.X) || !feq(a.Pos.Y, b.Pos.Y) {
+		return false
+	}
+	if (a.Points == nil) != (b.Points == nil) || len(a.Points) != len(b.Points) {
+		return false
+	}
+	for i := range a.Points {
+		if !feq(a.Points[i].X, b.Points[i].X) || !feq(a.Points[i].Y, b.Points[i].Y) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameElements(a, b []svg.Element) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sameElement(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzLexerDifferential holds the fast lexer and the encoding/xml decoder
+// together: on every eligible input the two must produce identical element
+// sequences (including the prefix emitted before a failure) and errors of
+// the same class. Ineligible inputs exercise only the routing invariant —
+// StreamBytes must defer to the std path.
+func FuzzLexerDifferential(f *testing.F) {
+	// Seed with rendered corpus material without drowning the mutator in
+	// megabytes: the smallest full map plus a window of the Europe document.
+	// Full-document equality on all four maps is covered by
+	// TestLexerMatchesStdOnRenderedCorpus.
+	corpus := renderedCorpus(f)
+	smallest := wmap.Europe
+	for id, doc := range corpus {
+		if len(doc) < len(corpus[smallest]) {
+			smallest = id
+		}
+	}
+	f.Add(corpus[smallest])
+	if eu := corpus[wmap.Europe]; len(eu) > 4096 {
+		f.Add(eu[:4096])
+	}
+	seeds := []string{
+		`<?xml version="1.0" encoding="UTF-8"?><svg xmlns="x" width="10" height="10"><g class="object router"><rect x="1" y="2" width="3" height="4"/><text x="1" y="4">fra-fr5</text></g></svg>`,
+		`<svg><polygon class="a" points="0,0 1,1 2,0" fill="#00ff00"/><polygon points="3,3 4,4 5,3" fill="#ff0000"/><text class="labellink" x="1" y="1">42 %</text></svg>`,
+		`<svg><text x='0' y='0'>&amp;&#66;&#x43; d</text></svg>`,
+		`<svg><rect x=" 1px" y="&#49;" width="1e2" height=".5"/></svg>`,
+		`<?xml aversion='2.0'?><svg><?pi ?x?></svg>`,
+		`<s:svg><s:rect x="1"y="2"width="3"height="4"/></s:svg>`,
+		`<svg><rect x="bad" width="x"/></svg>`,
+		`<svg><polygon points="1,2 3"/></svg>`,
+		`<svg>]]'</svg>`,
+		`<svg`,
+		``,
+		"<svg><text x='0' y='0'>a\r\nb\rc</text></svg>",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var stdElems []svg.Element
+		stdErr := svg.StreamStd(bytes.NewReader(data), collectInto(&stdElems))
+
+		if !svg.FastEligible(data) {
+			// Routing invariant: ineligible documents take the std path, so
+			// StreamBytes must reproduce it exactly.
+			var routed []svg.Element
+			routedErr := svg.StreamBytes(data, collectInto(&routed))
+			if errClass(t, routedErr) != errClass(t, stdErr) || !sameElements(routed, stdElems) {
+				t.Fatalf("std fallback diverged on ineligible input %q", data)
+			}
+			return
+		}
+
+		var fastElems []svg.Element
+		fastErr := svg.LexBytes(data, collectInto(&fastElems))
+		if cf, cs := errClass(t, fastErr), errClass(t, stdErr); cf != cs {
+			t.Fatalf("error class diverged on %q:\n fast: %s (%v)\n  std: %s (%v)",
+				data, cf, fastErr, cs, stdErr)
+		}
+		if !sameElements(fastElems, stdElems) {
+			t.Fatalf("elements diverged on %q:\n fast: %+v\n  std: %+v", data, fastElems, stdElems)
+		}
+		// Identical ValueErrors, not just the same class: the reader promises
+		// the same Attr/Value/Reason on both paths.
+		if fv, ok := fastErr.(*svg.ValueError); ok {
+			sv := stdErr.(*svg.ValueError)
+			if *fv != *sv {
+				t.Fatalf("ValueError diverged on %q:\n fast: %+v\n  std: %+v", data, *fv, *sv)
+			}
+		}
+	})
+}
+
+// TestLexerMatchesStdOnRenderedCorpus is the acceptance check in test form:
+// on every rendered backbone map the fast path must be eligible, default,
+// and element-for-element identical to the std decoder.
+func TestLexerMatchesStdOnRenderedCorpus(t *testing.T) {
+	for id, doc := range renderedCorpus(t) {
+		if !svg.FastEligible(doc) {
+			t.Errorf("%s: rendered document ineligible for the fast path", id)
+			continue
+		}
+		var fast, std, routed []svg.Element
+		if err := svg.LexBytes(doc, collectInto(&fast)); err != nil {
+			t.Errorf("%s: fast lexer failed: %v", id, err)
+			continue
+		}
+		if err := svg.StreamStd(bytes.NewReader(doc), collectInto(&std)); err != nil {
+			t.Errorf("%s: std decoder failed: %v", id, err)
+			continue
+		}
+		if !sameElements(fast, std) {
+			t.Errorf("%s: element sequences diverge (fast %d elements, std %d)", id, len(fast), len(std))
+		}
+		// The default entry point must route this document to the fast path
+		// and still agree.
+		if err := svg.StreamBytes(doc, collectInto(&routed)); err != nil {
+			t.Errorf("%s: StreamBytes failed: %v", id, err)
+			continue
+		}
+		if !sameElements(routed, std) {
+			t.Errorf("%s: StreamBytes diverges from the std decoder", id)
+		}
+	}
+}

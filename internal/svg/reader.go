@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ovhweather/internal/geom"
 )
@@ -61,13 +62,47 @@ func Parse(r io.Reader) ([]Element, error) {
 	return out, nil
 }
 
+// streamBufPool recycles the whole-document buffers Stream reads into; the
+// worker-pool path parses hundreds of thousands of ~600 KiB snapshots, so
+// steady-state processing reuses one buffer per worker.
+var streamBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64<<10)
+		return &b
+	},
+}
+
 // Stream reads an SVG document and invokes fn for every flat element in
-// document order, without retaining the document. Processing half a
-// terabyte of snapshots motivates the streaming form; the DOM form exists
-// for convenience and for the ablation benchmark.
+// document order. By default it buffers the document (snapshots are under a
+// megabyte) and runs the hand-rolled fast lexer; UseStdDecoder — and any
+// document outside the lexer's eligible subset — routes through the
+// encoding/xml path of StreamStd instead. Both paths emit identical element
+// sequences and the same ReadError/ValueError taxonomy.
 //
 // A non-nil error from fn aborts the scan and is returned verbatim.
+// Emitted elements never alias Stream's internal buffers and stay valid
+// after Stream returns.
 func Stream(r io.Reader, fn func(Element) error) error {
+	if UseStdDecoder {
+		return StreamStd(r, fn)
+	}
+	bp := streamBufPool.Get().(*[]byte)
+	buf, err := readAllInto(*bp, r)
+	*bp = buf
+	if err != nil {
+		streamBufPool.Put(bp)
+		return &ReadError{Err: err}
+	}
+	err = StreamBytes(buf, fn)
+	streamBufPool.Put(bp)
+	return err
+}
+
+// StreamStd is Stream over encoding/xml: the differential reference the
+// fast lexer is fuzzed against, the ablation baseline, and the fallback for
+// documents outside the lexer's subset (non-ASCII bytes, comments, CDATA,
+// DOCTYPE).
+func StreamStd(r io.Reader, fn func(Element) error) error {
 	dec := xml.NewDecoder(r)
 	// Weather-map files occasionally carry latin-1 text; pass bytes through
 	// rather than failing on charset lookups (the subset we parse is ASCII).
