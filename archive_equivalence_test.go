@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ovhweather/internal/analysis"
+	"ovhweather/internal/dataset"
+	"ovhweather/internal/extract"
+	"ovhweather/internal/netsim"
+	"ovhweather/internal/render"
+	"ovhweather/internal/tsdb"
+	"ovhweather/internal/wmap"
+)
+
+// TestArchiveEquivalence proves the columnar archive is a faithful stand-in
+// for the YAML corpus: render the 4-map corpus, build one archive through
+// the processing pipeline's Emit hook (the wmparse -archive path) and one
+// from the on-disk YAMLs (Store.ArchiveTo), and require
+//
+//   - the two archives are byte-identical (the writer is deterministic and
+//     both sources deliver the same series),
+//   - every snapshot read back through a Cursor equals its YAML counterpart
+//     structurally,
+//   - the paper's analyses produce byte-identical rendered output from
+//     either source, and
+//   - the archive is at least 5x smaller than the YAML corpus.
+func TestArchiveEquivalence(t *testing.T) {
+	sc := netsim.DefaultScenario()
+	sim, err := netsim.New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := dataset.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := render.NewSceneCache(render.Options{})
+
+	// Render: 6 hours at 5-minute steps, all maps, plus one corrupted Europe
+	// file the pipeline must reject without emitting.
+	from := sc.Start.AddDate(0, 2, 0)
+	steps := 0
+	for at := from; at.Before(from.Add(6 * time.Hour)); at = at.Add(5 * time.Minute) {
+		for _, id := range wmap.AllMaps() {
+			m, err := sim.MapAt(id, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if err := cache.WriteSVGCached(&sb, m); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.WriteSnapshot(id, at, dataset.ExtSVG, []byte(sb.String())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		steps++
+	}
+	badAt := from.Add(6 * time.Hour)
+	{
+		m, err := sim.MapAt(wmap.Europe, badAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scn, err := cache.Scene(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := render.WriteFaultySVG(&sb, scn, m, render.FaultMalformedAttribute); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.WriteSnapshot(wmap.Europe, badAt, dataset.ExtSVG, []byte(sb.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Path A: process with the Emit hook feeding a writer, as wmparse
+	// -archive does.
+	var bufA bytes.Buffer
+	wA := tsdb.NewWriter(&bufA)
+	for _, id := range wmap.AllMaps() {
+		rep, err := store.ProcessMapParallel(context.Background(), id, dataset.ProcessOptions{
+			Workers: 4,
+			Extract: extract.DefaultOptions(),
+			Emit:    wA.Append,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Processed != steps {
+			t.Fatalf("%s: processed = %d, want %d", id, rep.Processed, steps)
+		}
+	}
+	if err := wA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := wA.Stats().Snapshots; got != steps*len(wmap.AllMaps()) {
+		t.Fatalf("archive snapshots = %d, want %d (the corrupted file must not be emitted)",
+			got, steps*len(wmap.AllMaps()))
+	}
+
+	// Path B: re-archive the on-disk YAML corpus.
+	var bufB bytes.Buffer
+	wB := tsdb.NewWriter(&bufB)
+	if err := store.ArchiveTo(context.Background(), wmap.AllMaps(), 4, wB.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := wB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatalf("Emit-built and ArchiveTo-built archives differ: %d vs %d bytes",
+			bufA.Len(), bufB.Len())
+	}
+
+	rd, err := tsdb.NewReader(bytes.NewReader(bufA.Bytes()), int64(bufA.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every snapshot read back through a Cursor must equal its YAML
+	// counterpart structurally.
+	for _, id := range wmap.AllMaps() {
+		var fromYAML []*wmap.Map
+		if err := store.WalkMaps(id, func(m *wmap.Map) error {
+			fromYAML = append(fromYAML, m)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		cur := rd.Cursor(id, time.Time{}, time.Time{})
+		i := 0
+		for cur.Next() {
+			if i >= len(fromYAML) {
+				t.Fatalf("%s: archive yields more than %d snapshots", id, len(fromYAML))
+			}
+			got, want := cur.Map(), fromYAML[i]
+			if got.ID != want.ID || !got.Time.Equal(want.Time) {
+				t.Fatalf("%s[%d]: identity %s@%s, want %s@%s",
+					id, i, got.ID, got.Time, want.ID, want.Time)
+			}
+			if !reflect.DeepEqual(got.Nodes, want.Nodes) || !reflect.DeepEqual(got.Links, want.Links) {
+				t.Fatalf("%s[%d]: topology or loads diverge from the YAML snapshot", id, i)
+			}
+			i++
+		}
+		if err := cur.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if i != len(fromYAML) {
+			t.Fatalf("%s: archive yields %d snapshots, YAML walk %d", id, i, len(fromYAML))
+		}
+	}
+
+	// The analyses must render byte-identical output from either source.
+	yamlStream := func(yield func(*wmap.Map) error) error {
+		return store.WalkMapsParallel(context.Background(), wmap.Europe, 4, yield)
+	}
+	tsdbStream := func(yield func(*wmap.Map) error) error {
+		cur := rd.Cursor(wmap.Europe, time.Time{}, time.Time{})
+		for cur.Next() {
+			if err := yield(cur.Map()); err != nil {
+				return err
+			}
+		}
+		return cur.Err()
+	}
+	renderAnalyses := func(stream analysis.Stream) string {
+		var sb strings.Builder
+		loads, err := analysis.LoadCDF(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analysis.WriteLoadCDF(&sb, loads)
+		imb, err := analysis.ImbalanceCDF(stream, wmap.PaperImbalanceOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		analysis.WriteImbalance(&sb, imb)
+		infra, err := analysis.Infrastructure(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analysis.WriteInfraSeries(&sb, infra, time.Hour)
+		return sb.String()
+	}
+	if got, want := renderAnalyses(tsdbStream), renderAnalyses(yamlStream); got != want {
+		t.Errorf("analysis output diverges between tsdb and YAML paths:\n--- tsdb ---\n%s\n--- yaml ---\n%s", got, want)
+	}
+
+	// Size: the columnar archive must be at least 5x smaller than the YAML
+	// corpus it replaces.
+	sum, err := store.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var yamlBytes int64
+	for _, id := range wmap.AllMaps() {
+		yamlBytes += sum[id][dataset.ExtYAML].Bytes
+	}
+	if int64(bufA.Len())*5 > yamlBytes {
+		t.Errorf("archive = %d bytes, YAML corpus = %d bytes: want >= 5x smaller", bufA.Len(), yamlBytes)
+	}
+}

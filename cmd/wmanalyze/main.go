@@ -12,9 +12,16 @@
 //
 // -cpuprofile and -memprofile write pprof profiles of the run.
 //
+// Snapshots come from one of three sources: -data walks the processed YAML
+// corpus, -archive reads a columnar tsdb archive written by wmparse -archive
+// (same analyses, same output, O(log n) time-range seeks instead of a
+// directory walk), and -sim replays the simulator. Table 2 reports on-disk
+// file counts, so it needs -data.
+//
 // Usage:
 //
 //	wmanalyze -data DIR [-map europe] [-figures all|1,2,4c,...]
+//	wmanalyze -archive FILE [-map europe]
 //	wmanalyze -sim [-map europe]
 package main
 
@@ -36,12 +43,14 @@ import (
 	"ovhweather/internal/peeringdb"
 	"ovhweather/internal/prof"
 	"ovhweather/internal/status"
+	"ovhweather/internal/tsdb"
 	"ovhweather/internal/wmap"
 )
 
 // config carries the parsed flags into run.
 type config struct {
 	dir     string
+	archive string
 	useSim  bool
 	mapStr  string
 	figures string
@@ -58,6 +67,7 @@ func main() {
 		profiles prof.Profiles
 	)
 	flag.StringVar(&cfg.dir, "data", "", "processed dataset directory")
+	flag.StringVar(&cfg.archive, "archive", "", "columnar tsdb archive (alternative to -data)")
 	flag.BoolVar(&cfg.useSim, "sim", false, "analyze the simulator directly instead of a dataset")
 	flag.StringVar(&cfg.mapStr, "map", "europe", "map analyzed in Figures 4-6")
 	flag.StringVar(&cfg.figures, "figures", "all", "comma-separated subset: 1,2,3,4,5,6 or all")
@@ -66,9 +76,9 @@ func main() {
 	flag.StringVar(&profiles.CPU, "cpuprofile", "", "write a pprof CPU profile to `file`")
 	flag.StringVar(&profiles.Mem, "memprofile", "", "write a pprof heap profile to `file`")
 	flag.Parse()
-	if cfg.dir == "" && !cfg.useSim {
+	if cfg.dir == "" && cfg.archive == "" && !cfg.useSim {
 		flag.Usage()
-		log.Fatal("need -data or -sim")
+		log.Fatal("need -data, -archive, or -sim")
 	}
 
 	// Failures below this point route through run() so the deferred profile
@@ -112,6 +122,13 @@ func run(cfg config) error {
 			return err
 		}
 	}
+	var rd *tsdb.Reader
+	if cfg.archive != "" {
+		if rd, err = tsdb.OpenFile(cfg.archive); err != nil {
+			return err
+		}
+		defer rd.Close()
+	}
 	sc := netsim.DefaultScenario()
 	var sim *netsim.Simulator
 	if cfg.useSim {
@@ -142,6 +159,22 @@ func run(cfg config) error {
 				return nil
 			}
 		}
+		if rd != nil {
+			return func(yield func(*wmap.Map) error) error {
+				// The footer index seeks straight to the overlapping blocks;
+				// snapshots outside [from, to] are never decoded.
+				cur := rd.Cursor(id, from, to)
+				for cur.Next() {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					if err := yield(cur.Map()); err != nil {
+						return err
+					}
+				}
+				return cur.Err()
+			}
+		}
 		return func(yield func(*wmap.Map) error) error {
 			// Snapshots decode on a worker pool; the reorder buffer keeps
 			// the yield order chronological, as the analyses require.
@@ -156,7 +189,7 @@ func run(cfg config) error {
 
 	if sel("1") {
 		analysis.Banner(out, "Table 1 — network size per map ("+sc.End.Format("2006-01-02")+")")
-		maps, err := snapshotAll(sim, store, sc)
+		maps, err := snapshotAll(sim, rd, store, sc)
 		if err != nil {
 			return err
 		}
@@ -277,14 +310,27 @@ func run(cfg config) error {
 	return nil
 }
 
-// snapshotAll fetches all four maps at the scenario end, from the simulator
-// or the dataset.
-func snapshotAll(sim *netsim.Simulator, store *dataset.Store, sc netsim.Scenario) ([]*wmap.Map, error) {
+// snapshotAll fetches all four maps at the scenario end, from the simulator,
+// the archive, or the dataset. The archive and dataset branches both take
+// each map's last snapshot, so the two sources agree.
+func snapshotAll(sim *netsim.Simulator, rd *tsdb.Reader, store *dataset.Store, sc netsim.Scenario) ([]*wmap.Map, error) {
 	if sim != nil {
 		return sim.SnapshotAt(sc.End)
 	}
 	var out []*wmap.Map
 	for _, id := range wmap.AllMaps() {
+		if rd != nil {
+			_, last, ok := rd.Bounds(id)
+			if !ok {
+				continue
+			}
+			m, err := rd.SnapshotAt(id, last)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+			continue
+		}
 		entries, err := store.Index(id, dataset.ExtYAML)
 		if err != nil {
 			return nil, err

@@ -13,10 +13,16 @@
 // the encoding/xml reference path, which must produce byte-identical YAML.
 // -cpuprofile and -memprofile write pprof profiles of the run.
 //
+// -archive FILE additionally streams every processed snapshot — in
+// chronological order per map, including snapshots already processed by an
+// earlier run — into a columnar tsdb archive (see internal/tsdb), the input
+// of wmanalyze -archive and the wmserve query API.
+//
 // Usage:
 //
 //	wmparse -data DIR [-maps europe,...] [-workers N] [-threshold 40]
-//	        [-std-decoder] [-cpuprofile FILE] [-memprofile FILE] [-quiet]
+//	        [-archive FILE] [-std-decoder]
+//	        [-cpuprofile FILE] [-memprofile FILE] [-quiet]
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"ovhweather/internal/extract"
 	"ovhweather/internal/prof"
 	"ovhweather/internal/svg"
+	"ovhweather/internal/tsdb"
 	"ovhweather/internal/wmap"
 )
 
@@ -49,6 +56,7 @@ func main() {
 		threshold  = flag.Float64("threshold", 40, "label attribution distance threshold (px)")
 		colors     = flag.Bool("verify-colors", false, "cross-check load percentages against arrow colors")
 		stdDecoder = flag.Bool("std-decoder", false, "parse with encoding/xml instead of the fast lexer")
+		archive    = flag.String("archive", "", "also write a columnar tsdb archive to `file`")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		profiles   prof.Profiles
 	)
@@ -68,7 +76,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	code, err := run(*dir, *mapsStr, *workers, *threshold, *colors, *quiet)
+	code, err := run(*dir, *mapsStr, *workers, *threshold, *colors, *quiet, *archive)
 	if perr := stopProf(); perr != nil {
 		log.Print(perr)
 		if code == 0 {
@@ -82,7 +90,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool) (int, error) {
+func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool, archive string) (int, error) {
 	store, err := dataset.Open(dir)
 	if err != nil {
 		return 1, err
@@ -90,6 +98,18 @@ func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool
 	opt := extract.DefaultOptions()
 	opt.LabelThreshold = threshold
 	opt.VerifyColors = colors
+
+	// The archive writer taps the pipeline through ProcessOptions.Emit, which
+	// delivers each map's snapshots in chronological order — the contract
+	// Writer.Append enforces.
+	var arch *tsdb.Writer
+	if archive != "" {
+		arch, err = tsdb.Create(archive)
+		if err != nil {
+			return 1, err
+		}
+		defer arch.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -105,11 +125,15 @@ func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool
 				fmt.Fprintf(os.Stderr, "\r%s: %d/%d", id, done, total)
 			}
 		}
-		rep, err := store.ProcessMapParallel(ctx, id, dataset.ProcessOptions{
+		popt := dataset.ProcessOptions{
 			Workers:  workers,
 			Extract:  opt,
 			Progress: progress,
-		})
+		}
+		if arch != nil {
+			popt.Emit = arch.Append
+		}
+		rep, err := store.ProcessMapParallel(ctx, id, popt)
 		if !quiet {
 			fmt.Fprintln(os.Stderr)
 		}
@@ -124,6 +148,14 @@ func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool
 		if rep.Failed() > 0 {
 			exitCode = 1
 		}
+	}
+	if arch != nil {
+		if err := arch.Close(); err != nil {
+			return 1, fmt.Errorf("archive: %w", err)
+		}
+		st := arch.Stats()
+		log.Printf("archive %s: %d snapshots, %d blocks, %d topologies, %d bytes",
+			archive, st.Snapshots, st.Blocks, st.Topologies, st.Bytes)
 	}
 	return exitCode, nil
 }

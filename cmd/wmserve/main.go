@@ -5,24 +5,56 @@
 // Usage:
 //
 //	wmserve [-addr :8080] [-start RFC3339] [-step 5m] [-tick 1s]
+//	        [-archive FILE]
 //
 // Every -tick of wall-clock time advances the simulation by -step, exactly
 // like the real site's five-minute refresh, so a collector pointed at
 // http://ADDR/map/europe.svg observes the same update pattern the paper's
 // crawler did.
+//
+// -archive mounts the read-only query API of a columnar tsdb archive (see
+// internal/tsdb) under /api/v1/ alongside the live site:
+//
+//	GET /api/v1/maps
+//	GET /api/v1/topology?map=&at=
+//	GET /api/v1/links/{id}/load?from=&to=&step=
+//	GET /api/v1/imbalance?map=&at=
+//
+// SIGINT or SIGTERM shuts the server down gracefully: in-flight requests
+// drain (bounded by a timeout), the virtual clock stops, and the process
+// exits 0. A virtual clock that fails maxTickFailures consecutive ticks
+// aborts the server with a nonzero exit instead of spinning forever.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"ovhweather/internal/collect"
 	"ovhweather/internal/netsim"
 	"ovhweather/internal/status"
+	"ovhweather/internal/tsdb"
 	"ovhweather/internal/wmap"
 )
+
+// maxTickFailures is the consecutive SetTime-failure cap: a virtual clock
+// that cannot advance (for example after simulated time runs past the
+// scenario end) must stop the server rather than log the same error once a
+// second forever.
+const maxTickFailures = 10
+
+// shutdownTimeout bounds how long in-flight requests may drain after a
+// shutdown signal.
+const shutdownTimeout = 5 * time.Second
 
 func main() {
 	log.SetFlags(0)
@@ -33,36 +65,125 @@ func main() {
 		startStr = flag.String("start", "2020-07-01T00:00:00Z", "virtual start time (RFC3339)")
 		step     = flag.Duration("step", 5*time.Minute, "virtual time per tick")
 		tick     = flag.Duration("tick", time.Second, "wall-clock tick interval")
+		archive  = flag.String("archive", "", "serve the tsdb archive query API from `file` under /api/v1/")
 	)
 	flag.Parse()
 	start, err := time.Parse(time.RFC3339, *startStr)
 	if err != nil {
 		log.Fatalf("bad -start: %v", err)
 	}
+	os.Exit(run(*addr, *archive, start, *step, *tick))
+}
 
+func run(addr, archive string, start time.Time, step, tick time.Duration) int {
 	sim, err := netsim.New(netsim.DefaultScenario())
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
-	srv := collect.NewServer(sim, wmap.AllMaps())
-	srv.SetStatusFeed(status.FromScenario(sim.Scenario()))
-	if err := srv.SetTime(start); err != nil {
-		log.Fatal(err)
+	site := collect.NewServer(sim, wmap.AllMaps())
+	site.SetStatusFeed(status.FromScenario(sim.Scenario()))
+	if err := site.SetTime(start); err != nil {
+		log.Print(err)
+		return 1
 	}
 
-	go func() {
-		t := start
-		for range time.Tick(*tick) {
-			t = t.Add(*step)
-			if err := srv.SetTime(t); err != nil {
-				log.Printf("tick %s: %v", t, err)
-			}
+	handler := http.Handler(site)
+	if archive != "" {
+		rd, err := tsdb.OpenFile(archive)
+		if err != nil {
+			log.Print(err)
+			return 1
 		}
-	}()
+		defer rd.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/api/v1/", tsdb.NewAPIHandler(rd))
+		mux.Handle("/", site)
+		handler = mux
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The virtual clock and the listener each report on their own channel;
+	// whichever fails first (or a shutdown signal) decides the exit path.
+	tickErr := make(chan error, 1)
+	go func() { tickErr <- runClock(ctx, site, start, step, tick) }()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
 
 	log.Printf("serving weather map on %s (virtual time from %s, %s per %s)",
-		*addr, start.Format(time.RFC3339), *step, *tick)
-	log.Printf("try: curl http://localhost%s/map/europe.svg", *addr)
-	log.Printf("     curl http://localhost%s/status.json", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+		addr, start.Format(time.RFC3339), step, tick)
+	display := addr
+	if strings.HasPrefix(addr, ":") {
+		display = "localhost" + addr
+	}
+	log.Printf("try: curl http://%s/map/europe.svg", display)
+	log.Printf("     curl http://%s/status.json", display)
+	if archive != "" {
+		log.Printf("     curl http://%s/api/v1/maps", display)
+	}
+
+	code := 0
+	select {
+	case <-ctx.Done():
+		log.Print("signal received, shutting down")
+	case err := <-tickErr:
+		// runClock only returns non-nil on the consecutive-failure cap.
+		log.Print(err)
+		code = 1
+	case err := <-serveErr:
+		log.Print(err)
+		return 1 // listener never started or died: nothing left to drain
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish, bounded
+	// by shutdownTimeout. stop() first so a second signal kills immediately.
+	stop()
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("shutdown: %v", err)
+		code = 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Print(err)
+		code = 1
+	}
+	return code
+}
+
+// runClock advances the virtual clock by step every tick until ctx is
+// cancelled, returning nil. Transient SetTime failures are logged and reset
+// on the next success; maxTickFailures consecutive failures abort the clock
+// with the error instead of spinning. The ticker is stopped on every return
+// path, so the goroutine leaks nothing.
+func runClock(ctx context.Context, site *collect.Server, start time.Time, step, tick time.Duration) error {
+	tk := time.NewTicker(tick)
+	defer tk.Stop()
+	t := start
+	fails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tk.C:
+			t = t.Add(step)
+			if err := site.SetTime(t); err != nil {
+				fails++
+				log.Printf("tick %s: %v", t.Format(time.RFC3339), err)
+				if fails >= maxTickFailures {
+					return fmt.Errorf("virtual clock: %d consecutive tick failures, giving up: %w", fails, err)
+				}
+				continue
+			}
+			fails = 0
+		}
+	}
 }

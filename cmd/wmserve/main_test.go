@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"ovhweather/internal/collect"
+	"ovhweather/internal/wmap"
+)
+
+// failingSource always refuses to produce a map, so every SetTime fails —
+// the condition the consecutive-failure cap exists for.
+type failingSource struct{}
+
+func (failingSource) MapAt(id wmap.MapID, at time.Time) (*wmap.Map, error) {
+	return nil, errors.New("synthetic failure")
+}
+
+// TestRunClockFailureCap checks the virtual clock gives up with an error
+// after maxTickFailures consecutive SetTime failures instead of spinning.
+func TestRunClockFailureCap(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+	site := collect.NewServer(failingSource{}, []wmap.MapID{wmap.Europe})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := runClock(ctx, site, time.Unix(0, 0), time.Minute, time.Millisecond)
+	if err == nil {
+		t.Fatal("runClock returned nil; want the consecutive-failure error (or the test context expired)")
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("runClock did not hit the cap within the test timeout: %v", err)
+	}
+}
+
+// TestRunClockStopsOnCancel checks cancellation ends the clock cleanly with
+// a nil error, the graceful-shutdown path.
+func TestRunClockStopsOnCancel(t *testing.T) {
+	site := collect.NewServer(failingSource{}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := runClock(ctx, site, time.Unix(0, 0), time.Minute, time.Hour); err != nil {
+		t.Fatalf("cancelled runClock = %v, want nil", err)
+	}
+}

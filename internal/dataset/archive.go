@@ -1,0 +1,27 @@
+package dataset
+
+import (
+	"context"
+
+	"ovhweather/internal/wmap"
+)
+
+// ArchiveTo streams every processed YAML snapshot of the given maps into
+// sink, one map after another, each map's snapshots in chronological order —
+// the delivery contract a tsdb.Writer's Append needs. Decoding runs on
+// workers goroutines per map via WalkMapsParallel; sink itself is always
+// called from this goroutine, so an unsynchronized writer is safe.
+//
+// The sink stays a plain func so dataset does not import the archive
+// package: callers pass (*tsdb.Writer).Append (or any other fold).
+func (s *Store) ArchiveTo(ctx context.Context, ids []wmap.MapID, workers int, sink func(*wmap.Map) error) error {
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.WalkMapsParallel(ctx, id, workers, sink); err != nil {
+			return err
+		}
+	}
+	return nil
+}

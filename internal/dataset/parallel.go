@@ -39,6 +39,14 @@ type ProcessOptions struct {
 	// snapshot with a monotonically increasing done count. Calls are
 	// serialized; Progress must not call back into the processing run.
 	Progress func(done, total int)
+
+	// Emit, when non-nil, receives every successfully processed snapshot in
+	// chronological order — including snapshots skipped because their YAML
+	// already existed, which are loaded back so a resumed run still emits
+	// the complete series. Calls are serialized on a single goroutine; an
+	// Emit error cancels the run and is returned. This is how a tsdb.Writer
+	// (whose Append requires per-map chronological order) taps the pipeline.
+	Emit func(*wmap.Map) error
 }
 
 func (o ProcessOptions) workers() int {
@@ -75,6 +83,9 @@ func (s *Store) ProcessMapParallel(ctx context.Context, id wmap.MapID, opt Proce
 	}
 	if opt.Progress != nil {
 		opt.Progress(0, total)
+	}
+	if opt.Emit != nil {
+		return s.processOrdered(ctx, id, entries, workers, opt, rep)
 	}
 
 	var (
@@ -123,6 +134,105 @@ schedule:
 	close(jobs)
 	wg.Wait()
 	return rep, schedErr
+}
+
+// processOrdered is the Emit variant of ProcessMapParallel: workers run the
+// same per-snapshot chain, but each snapshot's result also travels through
+// a one-slot channel consumed in chronological order — the reorder-buffer
+// pattern of WalkMapsParallel — so opt.Emit observes the series in time
+// order no matter how workers interleave. The buffered pending channel
+// bounds how many decoded snapshots can run ahead of emission.
+func (s *Store) processOrdered(ctx context.Context, id wmap.MapID, entries []Entry, workers int, opt ProcessOptions, rep ProcessReport) (ProcessReport, error) {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct {
+		entry Entry
+		res   chan *wmap.Map // capacity 1: the worker's send never blocks
+	}
+	window := 2 * workers
+	pending := make(chan job, window)
+	jobs := make(chan job)
+	go func() {
+		defer close(pending)
+		defer close(jobs)
+		for _, e := range entries {
+			j := job{entry: e, res: make(chan *wmap.Map, 1)}
+			select {
+			case pending <- j:
+			case <-wctx.Done():
+				return
+			}
+			select {
+			case jobs <- j:
+			case <-wctx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	total := len(entries)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			cache := extract.NewAttributionCache(opt.Extract)
+			scr := &procScratch{}
+			defer func() {
+				mu.Lock()
+				rep.CacheHits += cache.Hits()
+				rep.CacheMisses += cache.Misses()
+				mu.Unlock()
+			}()
+			for {
+				select {
+				case j, ok := <-jobs:
+					if !ok {
+						return
+					}
+					out, m := s.processSnapshotEmit(id, j.entry.Time, cache, scr, true)
+					mu.Lock()
+					out.count(&rep)
+					done++
+					if opt.Progress != nil {
+						opt.Progress(done, total)
+					}
+					mu.Unlock()
+					j.res <- m
+				case <-wctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	var emitErr error
+deliver:
+	for j := range pending {
+		var m *wmap.Map
+		select {
+		case m = <-j.res:
+		case <-wctx.Done():
+			break deliver
+		}
+		if m != nil {
+			if err := opt.Emit(m); err != nil {
+				emitErr = fmt.Errorf("dataset: emitting %s at %s: %w", id, j.entry.Time, err)
+				break deliver
+			}
+		}
+	}
+	cancel()
+	wg.Wait()
+	if emitErr != nil {
+		return rep, emitErr
+	}
+	return rep, ctx.Err()
 }
 
 // WalkMapsParallel is WalkMaps with concurrent decoding: workers goroutines

@@ -465,3 +465,85 @@ func TestProcessMapParallelResumesAfterCancellation(t *testing.T) {
 			rep.CacheHits, rep.CacheMisses, attributed)
 	}
 }
+
+// TestProcessMapParallelEmitOrdered checks the Emit contract under heavy
+// concurrency: only successfully processed snapshots are emitted, in strict
+// chronological order, and the per-class accounting matches the Emit-less
+// run on the same fixture.
+func TestProcessMapParallelEmitOrdered(t *testing.T) {
+	s, want := seedMixedStore(t)
+	var emitted []*wmap.Map
+	rep, err := s.ProcessMapParallel(context.Background(), wmap.AsiaPacific, ProcessOptions{
+		Workers: 8,
+		Extract: extract.DefaultOptions(),
+		Emit: func(m *wmap.Map) error {
+			emitted = append(emitted, m)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameClasses(rep, want) {
+		t.Errorf("report = %+v, want %+v", rep, want)
+	}
+	if len(emitted) != want.Processed {
+		t.Fatalf("emitted %d snapshots, want %d (failures must not be emitted)", len(emitted), want.Processed)
+	}
+	for i := 1; i < len(emitted); i++ {
+		if !emitted[i].Time.After(emitted[i-1].Time) {
+			t.Fatalf("emission out of order: %s then %s", emitted[i-1].Time, emitted[i].Time)
+		}
+	}
+}
+
+// TestProcessMapParallelEmitResumed checks a resumed run still emits the
+// complete series: snapshots whose YAML already exists are loaded back
+// rather than skipped silently.
+func TestProcessMapParallelEmitResumed(t *testing.T) {
+	s, want := seedMixedStore(t)
+	if _, err := s.ProcessMapParallel(context.Background(), wmap.AsiaPacific, ProcessOptions{
+		Workers: 4,
+		Extract: extract.DefaultOptions(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var emitted []*wmap.Map
+	rep, err := s.ProcessMapParallel(context.Background(), wmap.AsiaPacific, ProcessOptions{
+		Workers: 4,
+		Extract: extract.DefaultOptions(),
+		Emit: func(m *wmap.Map) error {
+			emitted = append(emitted, m)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameClasses(rep, want) {
+		t.Errorf("resumed report = %+v, want %+v", rep, want)
+	}
+	if len(emitted) != want.Processed {
+		t.Fatalf("resumed run emitted %d snapshots, want %d (existing YAMLs load back)", len(emitted), want.Processed)
+	}
+	for i, m := range emitted {
+		if m == nil || len(m.Links) == 0 {
+			t.Fatalf("emitted[%d] = %+v: loaded-back snapshot is hollow", i, m)
+		}
+	}
+}
+
+// TestProcessMapParallelEmitError checks an Emit failure cancels the run and
+// surfaces the original error.
+func TestProcessMapParallelEmitError(t *testing.T) {
+	s, _ := seedMixedStore(t)
+	sentinel := errors.New("archive full")
+	_, err := s.ProcessMapParallel(context.Background(), wmap.AsiaPacific, ProcessOptions{
+		Workers: 4,
+		Extract: extract.DefaultOptions(),
+		Emit:    func(m *wmap.Map) error { return sentinel },
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the Emit error", err)
+	}
+}

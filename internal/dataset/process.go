@@ -117,32 +117,54 @@ type procScratch struct {
 // across snapshots except cache and scr, which belong to exactly one worker;
 // that is what makes ProcessMap embarrassingly parallel per input.
 func (s *Store) processSnapshot(id wmap.MapID, at time.Time, cache *extract.AttributionCache, scr *procScratch) outcome {
+	out, _ := s.processSnapshotEmit(id, at, cache, scr, false)
+	return out
+}
+
+// processSnapshotEmit is processSnapshot with an optional map result: when
+// wantMap is true the successfully processed snapshot is also returned so an
+// ordered Emit pipeline can forward it without re-reading the YAML. Snapshots
+// skipped because their YAML already exists are loaded back in that case, so
+// a resumed run still emits the complete series; a load failure downgrades
+// the skip to outOtherFail rather than emitting a gap silently. The map is a
+// fresh value on every call (cache.Attribute clones) and safe to retain.
+func (s *Store) processSnapshotEmit(id wmap.MapID, at time.Time, cache *extract.AttributionCache, scr *procScratch, wantMap bool) (outcome, *wmap.Map) {
 	if s.HasSnapshot(id, at, ExtYAML) {
-		return outProcessed // already processed in an earlier run
+		if !wantMap {
+			return outProcessed, nil // already processed in an earlier run
+		}
+		m, err := s.LoadMap(id, at)
+		if err != nil {
+			return outOtherFail, nil
+		}
+		return outProcessed, m
 	}
 	data, err := s.ReadSnapshotInto(scr.buf, id, at, ExtSVG)
 	scr.buf = data
 	if err != nil {
-		return outOtherFail
+		return outOtherFail, nil
 	}
 	if err := extract.ScanBytesInto(&scr.res, data, extract.ScanOptions{VerifyColors: cache.Options().VerifyColors}); err != nil {
-		return classify(err)
+		return classify(err), nil
 	}
 	if len(scr.res.Routers) == 0 && len(scr.res.Links) == 0 {
-		return classify(extract.ErrNotWeathermap)
+		return classify(extract.ErrNotWeathermap), nil
 	}
 	m, err := cache.Attribute(&scr.res, id, at)
 	if err != nil {
-		return classify(err)
+		return classify(err), nil
 	}
 	out, err := extract.MarshalYAML(m)
 	if err != nil {
-		return outOtherFail
+		return outOtherFail, nil
 	}
 	if err := s.WriteSnapshot(id, at, ExtYAML, out); err != nil {
-		return outWriteFail
+		return outWriteFail, nil
 	}
-	return outProcessed
+	if !wantMap {
+		return outProcessed, nil
+	}
+	return outProcessed, m
 }
 
 // ProcessMap converts every stored SVG snapshot of one map into its YAML

@@ -120,6 +120,44 @@ func TestResample(t *testing.T) {
 	}
 }
 
+func TestResampleWindowBoundary(t *testing.T) {
+	// A point landing exactly on cur.Add(step) closes the running window and
+	// opens the next one: it must not be averaged into the window it bounds.
+	ts := NewTimeSeries()
+	ts.Append(at(0), 10)
+	ts.Append(at(60), 30) // exactly one step after the window start
+	r := ts.Resample(time.Hour).Points()
+	if len(r) != 2 {
+		t.Fatalf("resampled len = %d: %+v", len(r), r)
+	}
+	if r[0].T != at(0) || r[0].V != 10 {
+		t.Errorf("window0 = %+v, want {%v 10}", r[0], at(0))
+	}
+	if r[1].T != at(60) || r[1].V != 30 {
+		t.Errorf("window1 = %+v, want {%v 30}: boundary point belongs to the next window", r[1], at(60))
+	}
+}
+
+func TestResampleMultiWindowGap(t *testing.T) {
+	// A gap spanning several empty windows advances the window cursor past
+	// all of them: the next output point is stamped at its own window start,
+	// not at the first empty one.
+	ts := NewTimeSeries()
+	ts.Append(at(0), 1)
+	ts.Append(at(5), 3)
+	ts.Append(at(3*60+30), 7) // windows 1 and 2 are empty
+	r := ts.Resample(time.Hour).Points()
+	if len(r) != 2 {
+		t.Fatalf("resampled len = %d: %+v", len(r), r)
+	}
+	if r[0].T != at(0) || r[0].V != 2 {
+		t.Errorf("window0 = %+v, want {%v 2}", r[0], at(0))
+	}
+	if r[1].T != at(3*60) || r[1].V != 7 {
+		t.Errorf("window3 = %+v, want {%v 7}: empty windows must be skipped, not stamped", r[1], at(3*60))
+	}
+}
+
 func TestResampleEdge(t *testing.T) {
 	if got := NewTimeSeries().Resample(time.Hour).Len(); got != 0 {
 		t.Errorf("resample empty = %d points", got)
@@ -162,6 +200,22 @@ func TestGapsLargerThan(t *testing.T) {
 	}
 	if gaps[0].Duration() != 35*time.Minute {
 		t.Errorf("duration = %v", gaps[0].Duration())
+	}
+}
+
+func TestGapsLargerThanUnsorted(t *testing.T) {
+	// GapsLargerThan sorts a copy of its input: scrambled timestamps yield
+	// the same gaps as sorted ones, and the caller's slice stays untouched.
+	times := []time.Time{at(45), at(0), at(40), at(5)}
+	orig := append([]time.Time(nil), times...)
+	gaps := GapsLargerThan(times, 10*time.Minute)
+	if len(gaps) != 1 || gaps[0].From != at(5) || gaps[0].To != at(40) {
+		t.Errorf("unsorted gaps = %+v, want one gap %v..%v", gaps, at(5), at(40))
+	}
+	for i := range orig {
+		if times[i] != orig[i] {
+			t.Fatalf("input slice reordered at %d: %v", i, times[i])
+		}
 	}
 }
 

@@ -1,0 +1,85 @@
+package tsdb
+
+import (
+	"sort"
+	"time"
+
+	"ovhweather/internal/wmap"
+)
+
+// Cursor iterates one map's snapshots over [from, to] in chronological
+// order, decoding one block at a time:
+//
+//	cur := r.Cursor(id, from, to)
+//	for cur.Next() {
+//		m := cur.Map()
+//		...
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// Zero from/to mean unbounded; both ends are inclusive, matching the
+// dataset walk's from/to filter. Each Map() is freshly materialized and may
+// be retained by the caller.
+type Cursor struct {
+	r          *Reader
+	ids        []int // overlapping block indexes, chronological
+	fromU, toU int64
+	bi         int
+	db         *decodedBlock
+	pi         int
+	m          *wmap.Map
+	err        error
+}
+
+// Cursor positions a new cursor; the block seek is O(log n) in the map's
+// block count.
+func (r *Reader) Cursor(id wmap.MapID, from, to time.Time) *Cursor {
+	fromU, toU := rangeBounds(from, to)
+	return &Cursor{
+		r:     r,
+		ids:   r.blockRange(id, fromU, toU),
+		fromU: fromU,
+		toU:   toU,
+	}
+}
+
+// Next advances to the next snapshot, reporting false at the end of the
+// range or on error.
+func (c *Cursor) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	for {
+		if c.db == nil {
+			if c.bi >= len(c.ids) {
+				return false
+			}
+			db, err := c.r.decodeBlock(c.ids[c.bi], nil)
+			if err != nil {
+				c.err = err
+				return false
+			}
+			c.db = db
+			c.pi = sort.Search(len(db.times), func(i int) bool { return db.times[i] >= c.fromU })
+		}
+		if c.pi >= len(c.db.times) {
+			c.db = nil
+			c.bi++
+			continue
+		}
+		if c.db.times[c.pi] > c.toU {
+			// Later blocks are later still: the range is exhausted.
+			c.bi = len(c.ids)
+			return false
+		}
+		c.m = c.r.materialize(c.db, c.pi)
+		c.pi++
+		return true
+	}
+}
+
+// Map returns the snapshot Next advanced to.
+func (c *Cursor) Map() *wmap.Map { return c.m }
+
+// Err returns the first decoding error the iteration hit, if any.
+func (c *Cursor) Err() error { return c.err }

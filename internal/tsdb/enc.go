@@ -1,0 +1,87 @@
+package tsdb
+
+import "encoding/binary"
+
+// On-disk layout constants. All multi-byte integers inside sections are
+// unsigned LEB128 varints (zigzag for signed deltas); the block and footer
+// framing uses fixed-width little-endian lengths and CRC32-IEEE checksums.
+const (
+	headerMagic = "wmtsdb1\n"
+	tailMagic   = "wmtsend\n"
+
+	// frameOverhead is the fixed framing around a block payload: a u32
+	// length prefix and a u32 CRC suffix.
+	frameOverhead = 8
+
+	// tailLen is the fixed trailer after the footer payload: u32 CRC,
+	// u64 footer length, tail magic.
+	tailLen = 4 + 8 + 8
+
+	// maxUnixSeconds bounds decoded timestamps (≈ year 10889); anything
+	// larger marks a corrupt time column.
+	maxUnixSeconds = 1 << 48
+)
+
+// dec is a bounds-checked cursor over one section's bytes. Every failed
+// read resolves to a *CorruptError carrying the absolute file offset, so
+// random or truncated input can never index out of range or over-allocate.
+type dec struct {
+	b   []byte
+	pos int
+	off int64 // file offset of b[0]
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.pos }
+
+// abs is the absolute file offset of the next unread byte.
+func (d *dec) abs() int64 { return d.off + int64(d.pos) }
+
+func (d *dec) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, corruptf(d.abs(), "bad varint (%s)", what)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *dec) varint(what string) (int64, error) {
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, corruptf(d.abs(), "bad signed varint (%s)", what)
+	}
+	d.pos += n
+	return v, nil
+}
+
+// count reads an element count and bounds it by the bytes left in the
+// section: every encoded element occupies at least one byte, so any larger
+// claim is corruption — checked before any allocation sized by it.
+func (d *dec) count(what string) (int, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(d.remaining()) {
+		return 0, corruptf(d.abs(), "%s count %d exceeds %d remaining bytes", what, v, d.remaining())
+	}
+	return int(v), nil
+}
+
+func (d *dec) bytes(n int, what string) ([]byte, error) {
+	if n < 0 || n > d.remaining() {
+		return nil, corruptf(d.abs(), "%s of %d bytes exceeds %d remaining", what, n, d.remaining())
+	}
+	s := d.b[d.pos : d.pos+n]
+	d.pos += n
+	return s, nil
+}
+
+func (d *dec) byte(what string) (byte, error) {
+	if d.remaining() < 1 {
+		return 0, corruptf(d.abs(), "missing byte (%s)", what)
+	}
+	c := d.b[d.pos]
+	d.pos++
+	return c, nil
+}

@@ -1,0 +1,92 @@
+package tsdb
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"ovhweather/internal/wmap"
+)
+
+// FuzzBlockReader throws arbitrary bytes at the archive reader: any input —
+// random garbage, truncated archives, bit-flipped valid files — must either
+// open and iterate cleanly or fail with *CorruptError. A panic or an
+// untyped error is a bug; the reader's bounds-checked decoder and CRC
+// validation are what this fuzzes.
+func FuzzBlockReader(f *testing.F) {
+	// Seed with a real archive and characteristic damage so the fuzzer
+	// starts inside the format rather than rediscovering the magic.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SetBlockPoints(3)
+	mk := func(id wmap.MapID, min, load int) *wmap.Map {
+		return &wmap.Map{
+			ID:   id,
+			Time: time.Date(2020, 7, 1, 0, min, 0, 0, time.UTC),
+			Nodes: []wmap.Node{
+				{Name: "par-g1", Kind: wmap.Router},
+				{Name: "AMS-IX", Kind: wmap.Peering},
+			},
+			Links: []wmap.Link{
+				{A: "par-g1", B: "AMS-IX", LabelA: "#1", LabelB: "#1",
+					LoadAB: wmap.Load(load), LoadBA: wmap.Load(100 - load)},
+			},
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if err := w.Append(mk(wmap.Europe, 5*i, 10*i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(headerMagic)])
+	f.Add([]byte(headerMagic + tailMagic))
+	f.Add([]byte{})
+	damaged := append([]byte(nil), valid...)
+	damaged[len(damaged)/2] ^= 0x40
+	f.Add(damaged)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("NewReader error %v is not *CorruptError", err)
+			}
+			return
+		}
+		for _, id := range rd.Maps() {
+			if _, _, ok := rd.Bounds(id); !ok {
+				t.Fatalf("listed map %s has no bounds", id)
+			}
+			cur := rd.Cursor(id, time.Time{}, time.Time{})
+			n := 0
+			for cur.Next() {
+				if m := cur.Map(); m == nil || m.ID != id {
+					t.Fatalf("cursor yielded map %+v for %s", m, id)
+				}
+				n++
+			}
+			if err := cur.Err(); err != nil {
+				var ce *CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("cursor error %v is not *CorruptError", err)
+				}
+			} else if n != rd.Snapshots(id) {
+				t.Fatalf("%s: cursor yielded %d snapshots, index says %d", id, n, rd.Snapshots(id))
+			}
+			if _, err := rd.SnapshotAt(id, time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+				var ce *CorruptError
+				if !errors.As(err, &ce) && !errors.Is(err, ErrNoSnapshot) {
+					t.Fatalf("SnapshotAt error %v is neither *CorruptError nor ErrNoSnapshot", err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ovhweather/internal/stats"
+	"ovhweather/internal/wmap"
+)
+
+// The wmserve query API: read-only JSON endpoints over one archive.
+//
+//	GET /api/v1/maps                         — archived maps with bounds
+//	GET /api/v1/topology?map=&at=            — snapshot topology with link ids
+//	GET /api/v1/links/{id}/load?from=&to=&step= — per-direction load series
+//	GET /api/v1/imbalance?map=&at=           — parallel-link imbalance sets
+//
+// Times are RFC3339; at defaults to the map's last snapshot, from/to to the
+// archive bounds. step resamples the series into fixed averaged windows via
+// stats.TimeSeries.Resample. Link ids come from the topology endpoint and
+// stay stable across snapshots (LinkKey.ID).
+
+// NewAPIHandler serves the query API over rd. The handler is safe for
+// concurrent use and holds no mutable state.
+func NewAPIHandler(rd *Reader) http.Handler {
+	a := &api{rd: rd}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/maps", a.handleMaps)
+	mux.HandleFunc("GET /api/v1/topology", a.handleTopology)
+	mux.HandleFunc("GET /api/v1/links/{id}/load", a.handleLinkLoad)
+	mux.HandleFunc("GET /api/v1/imbalance", a.handleImbalance)
+	return mux
+}
+
+type api struct {
+	rd *Reader
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// queryMap resolves the required map parameter against the archive.
+func (a *api) queryMap(w http.ResponseWriter, r *http.Request) (wmap.MapID, bool) {
+	s := r.URL.Query().Get("map")
+	if s == "" {
+		writeError(w, http.StatusBadRequest, "missing map parameter")
+		return "", false
+	}
+	id, err := wmap.ParseMapID(s)
+	if err != nil {
+		// Archives may hold non-backbone map ids; accept any archived id.
+		id = wmap.MapID(s)
+	}
+	if _, _, ok := a.rd.Bounds(id); !ok {
+		writeError(w, http.StatusNotFound, "map %q not in archive", s)
+		return "", false
+	}
+	return id, true
+}
+
+// queryTime parses an optional RFC3339 parameter, with a fallback.
+func queryTime(w http.ResponseWriter, r *http.Request, name string, fallback time.Time) (time.Time, bool) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return fallback, true
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad %s: %v", name, err)
+		return time.Time{}, false
+	}
+	return t, true
+}
+
+type mapInfo struct {
+	Map       wmap.MapID `json:"map"`
+	Title     string     `json:"title"`
+	From      time.Time  `json:"from"`
+	To        time.Time  `json:"to"`
+	Snapshots int        `json:"snapshots"`
+}
+
+func (a *api) handleMaps(w http.ResponseWriter, r *http.Request) {
+	out := make([]mapInfo, 0, len(a.rd.Maps()))
+	for _, id := range a.rd.Maps() {
+		from, to, _ := a.rd.Bounds(id)
+		out = append(out, mapInfo{
+			Map: id, Title: id.Title(), From: from, To: to,
+			Snapshots: a.rd.Snapshots(id),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"maps": out})
+}
+
+type topoNode struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type topoLink struct {
+	ID     string `json:"id"`
+	A      string `json:"a"`
+	B      string `json:"b"`
+	LabelA string `json:"label_a"`
+	LabelB string `json:"label_b"`
+	LoadAB int    `json:"load_ab"`
+	LoadBA int    `json:"load_ba"`
+}
+
+func (a *api) handleTopology(w http.ResponseWriter, r *http.Request) {
+	id, ok := a.queryMap(w, r)
+	if !ok {
+		return
+	}
+	_, last, _ := a.rd.Bounds(id)
+	at, ok := queryTime(w, r, "at", last)
+	if !ok {
+		return
+	}
+	m, err := a.rd.SnapshotAt(id, at)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrNoSnapshot) || errors.Is(err, ErrUnknownMap) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	nodes := make([]topoNode, 0, len(m.Nodes))
+	for _, n := range m.Nodes {
+		nodes = append(nodes, topoNode{Name: n.Name, Kind: string(n.Kind)})
+	}
+	keys := LinkKeysOf(m)
+	links := make([]topoLink, 0, len(m.Links))
+	for i, l := range m.Links {
+		links = append(links, topoLink{
+			ID: keys[i].ID(id), A: l.A, B: l.B,
+			LabelA: l.LabelA, LabelB: l.LabelB,
+			LoadAB: int(l.LoadAB), LoadBA: int(l.LoadBA),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"map": id, "time": m.Time, "nodes": nodes, "links": links,
+	})
+}
+
+type seriesPoint struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+func seriesPoints(ts *stats.TimeSeries) []seriesPoint {
+	pts := ts.Points()
+	out := make([]seriesPoint, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, seriesPoint{T: p.T, V: p.V})
+	}
+	return out
+}
+
+func (a *api) handleLinkLoad(w http.ResponseWriter, r *http.Request) {
+	linkID := r.PathValue("id")
+	id, key, ok := a.rd.ResolveLinkID(linkID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown link id %q", linkID)
+		return
+	}
+	bFrom, bTo, _ := a.rd.Bounds(id)
+	from, ok := queryTime(w, r, "from", bFrom)
+	if !ok {
+		return
+	}
+	to, ok := queryTime(w, r, "to", bTo)
+	if !ok {
+		return
+	}
+	var step time.Duration
+	if s := r.URL.Query().Get("step"); s != "" {
+		var err error
+		if step, err = time.ParseDuration(s); err != nil || step < 0 {
+			writeError(w, http.StatusBadRequest, "bad step %q", s)
+			return
+		}
+	}
+	ab, ba, err := a.rd.LinkSeries(id, key, from, to)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownLink) || errors.Is(err, ErrUnknownMap) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	if step > 0 {
+		ab, ba = ab.Resample(step), ba.Resample(step)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": linkID, "map": id,
+		"a": key.A, "b": key.B, "label_a": key.LabelA, "label_b": key.LabelB,
+		"ordinal": key.Ordinal,
+		"from":    from, "to": to, "step": step.String(),
+		"ab": seriesPoints(ab), "ba": seriesPoints(ba),
+	})
+}
+
+type imbalanceRow struct {
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Internal bool   `json:"internal"`
+	Spread   int    `json:"spread"`
+	Links    int    `json:"links"`
+}
+
+func (a *api) handleImbalance(w http.ResponseWriter, r *http.Request) {
+	id, ok := a.queryMap(w, r)
+	if !ok {
+		return
+	}
+	_, last, _ := a.rd.Bounds(id)
+	at, ok := queryTime(w, r, "at", last)
+	if !ok {
+		return
+	}
+	m, err := a.rd.SnapshotAt(id, at)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrNoSnapshot) || errors.Is(err, ErrUnknownMap) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	imbs := m.Imbalances(wmap.PaperImbalanceOptions())
+	rows := make([]imbalanceRow, 0, len(imbs))
+	for _, im := range imbs {
+		rows = append(rows, imbalanceRow{
+			From: im.From, To: im.To, Internal: im.Internal,
+			Spread: im.Spread, Links: im.Links,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"map": id, "time": m.Time, "imbalances": rows,
+	})
+}

@@ -1,0 +1,155 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ovhweather/internal/wmap"
+)
+
+// apiFixture builds a handler over an archive of 8 Europe snapshots (5 min
+// apart, parallel peering links with a constant 20-point spread) plus one
+// World snapshot, and returns the handler and a sample snapshot for ids.
+func apiFixture(t *testing.T) (http.Handler, *wmap.Map) {
+	t.Helper()
+	var maps []*wmap.Map
+	for i := 0; i < 8; i++ {
+		maps = append(maps, testMap(wmap.Europe, at(5*i), 10+i, 20+i, 30+i, 40+i, 50+i, 60+i))
+	}
+	maps = append(maps, testMap(wmap.World, at(0), 1, 2, 3, 4, 5, 6))
+	rd := openArchive(t, buildArchive(t, 3, maps...))
+	return NewAPIHandler(rd), maps[0]
+}
+
+// getJSON performs an in-process request and decodes the JSON body.
+func getJSON(t *testing.T, h http.Handler, url string, wantCode int) map[string]any {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != wantCode {
+		t.Fatalf("GET %s: status %d, want %d (body %s)", url, rec.Code, wantCode, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content type %q", url, ct)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+	return v
+}
+
+func TestAPIMaps(t *testing.T) {
+	h, _ := apiFixture(t)
+	v := getJSON(t, h, "/api/v1/maps", http.StatusOK)
+	maps := v["maps"].([]any)
+	if len(maps) != 2 {
+		t.Fatalf("maps = %v", maps)
+	}
+	first := maps[0].(map[string]any)
+	if first["map"] != "europe" || first["snapshots"] != float64(8) {
+		t.Errorf("europe row = %v", first)
+	}
+}
+
+func TestAPITopology(t *testing.T) {
+	h, sample := apiFixture(t)
+	// Default at: the map's last snapshot.
+	v := getJSON(t, h, "/api/v1/topology?map=europe", http.StatusOK)
+	if got, err := time.Parse(time.RFC3339, v["time"].(string)); err != nil || !got.Equal(at(35)) {
+		t.Errorf("default at = %v (%v), want %v", v["time"], err, at(35))
+	}
+	links := v["links"].([]any)
+	if len(links) != 3 || len(v["nodes"].([]any)) != 3 {
+		t.Fatalf("topology shape: %d links, %v nodes", len(links), v["nodes"])
+	}
+	// The served link ids are the stable LinkKey ids, parallels told apart.
+	keys := LinkKeysOf(sample)
+	seen := map[string]bool{}
+	for i, l := range links {
+		row := l.(map[string]any)
+		if row["id"] != keys[i].ID(wmap.Europe) {
+			t.Errorf("link %d id = %v, want %s", i, row["id"], keys[i].ID(wmap.Europe))
+		}
+		if seen[row["id"].(string)] {
+			t.Errorf("duplicate link id %v", row["id"])
+		}
+		seen[row["id"].(string)] = true
+	}
+	// Explicit at pins the snapshot (and its loads).
+	v = getJSON(t, h, "/api/v1/topology?map=europe&at="+at(12).Format(time.RFC3339), http.StatusOK)
+	row := v["links"].([]any)[0].(map[string]any)
+	if row["load_ab"] != float64(12) { // snapshot at minute 10 is i=2
+		t.Errorf("pinned-at load_ab = %v, want 12", row["load_ab"])
+	}
+
+	getJSON(t, h, "/api/v1/topology", http.StatusBadRequest)
+	getJSON(t, h, "/api/v1/topology?map=asia-pacific", http.StatusNotFound)
+	getJSON(t, h, "/api/v1/topology?map=europe&at=yesterday", http.StatusBadRequest)
+	v = getJSON(t, h, "/api/v1/topology?map=europe&at=1999-01-01T00:00:00Z", http.StatusNotFound)
+	if v["error"] == nil {
+		t.Error("error payload missing")
+	}
+}
+
+func TestAPILinkLoad(t *testing.T) {
+	h, sample := apiFixture(t)
+	id := LinkKeysOf(sample)[2].ID(wmap.Europe) // second parallel, ordinal 1
+
+	v := getJSON(t, h, "/api/v1/links/"+id+"/load", http.StatusOK)
+	if v["ordinal"] != float64(1) || v["a"] != "par-g1" || v["b"] != "AMS-IX" {
+		t.Errorf("link identity = %v", v)
+	}
+	ab := v["ab"].([]any)
+	if len(ab) != 8 {
+		t.Fatalf("ab len = %d", len(ab))
+	}
+	if p := ab[3].(map[string]any); p["v"] != float64(53) {
+		t.Errorf("ab[3] = %v, want v=53", p)
+	}
+
+	// from/to restrict, step resamples through stats.TimeSeries.Resample.
+	u := "/api/v1/links/" + id + "/load?from=" + at(0).Format(time.RFC3339) +
+		"&to=" + at(15).Format(time.RFC3339) + "&step=10m"
+	v = getJSON(t, h, u, http.StatusOK)
+	ab = v["ab"].([]any)
+	if len(ab) != 2 {
+		t.Fatalf("resampled ab = %v", ab)
+	}
+	if p := ab[0].(map[string]any); p["v"] != 50.5 { // mean of 50, 51
+		t.Errorf("resampled ab[0] = %v, want 50.5", p)
+	}
+
+	getJSON(t, h, "/api/v1/links/doesnotexist/load", http.StatusNotFound)
+	getJSON(t, h, "/api/v1/links/"+id+"/load?step=fast", http.StatusBadRequest)
+	getJSON(t, h, "/api/v1/links/"+id+"/load?from=noon", http.StatusBadRequest)
+}
+
+func TestAPIImbalance(t *testing.T) {
+	h, _ := apiFixture(t)
+	v := getJSON(t, h, "/api/v1/imbalance?map=europe&at="+at(0).Format(time.RFC3339), http.StatusOK)
+	rows := v["imbalances"].([]any)
+	if len(rows) != 2 { // one directed set per direction of the parallel pair
+		t.Fatalf("imbalances = %v", rows)
+	}
+	for _, r := range rows {
+		row := r.(map[string]any)
+		if row["spread"] != float64(20) || row["links"] != float64(2) || row["internal"] != false {
+			t.Errorf("imbalance row = %v, want spread 20 over 2 external links", row)
+		}
+	}
+	getJSON(t, h, "/api/v1/imbalance?map=world&at=1999-01-01T00:00:00Z", http.StatusNotFound)
+	getJSON(t, h, "/api/v1/imbalance", http.StatusBadRequest)
+}
+
+func TestAPIMethodNotAllowed(t *testing.T) {
+	h, _ := apiFixture(t)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/v1/maps", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /api/v1/maps = %d, want 405", rec.Code)
+	}
+}

@@ -1,0 +1,618 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ovhweather/internal/stats"
+	"ovhweather/internal/wmap"
+)
+
+// Reader serves queries over one archive. Opening parses only the footer —
+// string table, topology dictionary, block index; block payloads are read
+// and decoded on demand, so a point or range query touches O(log n) index
+// entries plus the overlapping blocks. A Reader is safe for concurrent use:
+// all parsed state is immutable after open.
+type Reader struct {
+	r      io.ReaderAt
+	size   int64
+	closer io.Closer
+
+	strs   []string
+	topos  []*topology
+	blocks []blockMeta
+	perMap map[wmap.MapID][]int // block indexes, chronological
+	mapIDs []wmap.MapID
+
+	linkDirOnce sync.Once
+	linkDir     map[string]linkAddr
+}
+
+// linkAddr locates a query-API link id: the map and the in-map key.
+type linkAddr struct {
+	mapID wmap.MapID
+	key   LinkKey
+}
+
+// OpenFile opens an archive file for querying.
+func OpenFile(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	r, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// NewReader opens an archive held by any io.ReaderAt. Structural problems
+// — bad magic, truncation, checksum failures, impossible field values —
+// return a *CorruptError; NewReader never panics on arbitrary input.
+func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
+	rd := &Reader{r: r, size: size, perMap: make(map[wmap.MapID][]int)}
+	if err := rd.parse(); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+// Close releases the underlying file when the reader owns one.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// readAt fetches an exact byte range, mapping any shortfall to corruption.
+func (r *Reader) readAt(off int64, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+int64(n) > r.size {
+		return nil, corruptf(off, "read of %d bytes beyond archive size %d", n, r.size)
+	}
+	buf := make([]byte, n)
+	if _, err := r.r.ReadAt(buf, off); err != nil {
+		return nil, corruptf(off, "short read: %v", err)
+	}
+	return buf, nil
+}
+
+func (r *Reader) parse() error {
+	minSize := int64(len(headerMagic) + tailLen)
+	if r.size < minSize {
+		return corruptf(0, "archive of %d bytes is shorter than the %d-byte minimum", r.size, minSize)
+	}
+	head, err := r.readAt(0, len(headerMagic))
+	if err != nil {
+		return err
+	}
+	if string(head) != headerMagic {
+		return corruptf(0, "bad header magic %q", head)
+	}
+	tail, err := r.readAt(r.size-int64(tailLen), tailLen)
+	if err != nil {
+		return err
+	}
+	if string(tail[12:]) != tailMagic {
+		return corruptf(r.size-8, "bad tail magic %q (archive not closed?)", tail[12:])
+	}
+	footerLen := binary.LittleEndian.Uint64(tail[4:12])
+	footerStart := r.size - int64(tailLen) - int64(footerLen)
+	if footerLen > math.MaxInt32 || footerStart < int64(len(headerMagic)) {
+		return corruptf(r.size-16, "footer length %d exceeds archive", footerLen)
+	}
+	footer, err := r.readAt(footerStart, int(footerLen))
+	if err != nil {
+		return err
+	}
+	if sum := crc32.ChecksumIEEE(footer); sum != binary.LittleEndian.Uint32(tail[:4]) {
+		return corruptf(footerStart, "footer checksum mismatch")
+	}
+	return r.parseFooter(&dec{b: footer, off: footerStart}, footerStart)
+}
+
+func (r *Reader) parseFooter(d *dec, footerStart int64) error {
+	nstr, err := d.count("string table")
+	if err != nil {
+		return err
+	}
+	r.strs = make([]string, 0, nstr)
+	for i := 0; i < nstr; i++ {
+		slen, err := d.uvarint("string length")
+		if err != nil {
+			return err
+		}
+		if slen > uint64(d.remaining()) {
+			return corruptf(d.abs(), "string of %d bytes exceeds %d remaining", slen, d.remaining())
+		}
+		b, err := d.bytes(int(slen), "string")
+		if err != nil {
+			return err
+		}
+		r.strs = append(r.strs, string(b))
+	}
+
+	ntopo, err := d.count("topology table")
+	if err != nil {
+		return err
+	}
+	var prev *topology
+	r.topos = make([]*topology, 0, ntopo)
+	for i := 0; i < ntopo; i++ {
+		t, err := r.parseTopology(d, prev)
+		if err != nil {
+			return err
+		}
+		r.topos = append(r.topos, t)
+		prev = t
+	}
+
+	nblk, err := d.count("block index")
+	if err != nil {
+		return err
+	}
+	r.blocks = make([]blockMeta, 0, nblk)
+	for i := 0; i < nblk; i++ {
+		m, err := r.parseBlockMeta(d, footerStart)
+		if err != nil {
+			return err
+		}
+		r.blocks = append(r.blocks, m)
+	}
+	if d.remaining() != 0 {
+		return corruptf(d.abs(), "%d trailing bytes after footer", d.remaining())
+	}
+
+	for i := range r.blocks {
+		id := wmap.MapID(r.strs[r.blocks[i].mapRef])
+		r.perMap[id] = append(r.perMap[id], i)
+	}
+	for id, bl := range r.perMap {
+		sort.Slice(bl, func(a, b int) bool { return r.blocks[bl[a]].baseUnix < r.blocks[bl[b]].baseUnix })
+		for k := 1; k < len(bl); k++ {
+			prev, cur := &r.blocks[bl[k-1]], &r.blocks[bl[k]]
+			if cur.baseUnix <= prev.lastUnix {
+				return corruptf(cur.offset, "map %s blocks overlap in time", id)
+			}
+		}
+		r.mapIDs = append(r.mapIDs, id)
+	}
+	sort.Slice(r.mapIDs, func(a, b int) bool { return r.mapIDs[a] < r.mapIDs[b] })
+	return nil
+}
+
+// parseTopology decodes one prefix-delta dictionary entry: the leading
+// nodes and links shared with the previous entry, then the new rows.
+func (r *Reader) parseTopology(d *dec, prev *topology) (*topology, error) {
+	np, err := d.uvarint("node prefix")
+	if err != nil {
+		return nil, err
+	}
+	prevNodes, prevLinks := 0, 0
+	if prev != nil {
+		prevNodes, prevLinks = len(prev.nodes), len(prev.links)
+	}
+	if np > uint64(prevNodes) {
+		return nil, corruptf(d.abs(), "node prefix %d exceeds previous topology's %d nodes", np, prevNodes)
+	}
+	nn, err := d.count("topology nodes")
+	if err != nil {
+		return nil, err
+	}
+	t := &topology{nodes: make([]wmap.Node, 0, int(np)+nn)}
+	if prev != nil {
+		t.nodes = append(t.nodes, prev.nodes[:np]...)
+	}
+	for i := 0; i < nn; i++ {
+		ref, err := d.uvarint("node name ref")
+		if err != nil {
+			return nil, err
+		}
+		if ref >= uint64(len(r.strs)) {
+			return nil, corruptf(d.abs(), "node name ref %d outside string table of %d", ref, len(r.strs))
+		}
+		kb, err := d.byte("node kind")
+		if err != nil {
+			return nil, err
+		}
+		kind := wmap.Router
+		switch kb {
+		case 0:
+		case 1:
+			kind = wmap.Peering
+		default:
+			return nil, corruptf(d.abs(), "unknown node kind byte %d", kb)
+		}
+		t.nodes = append(t.nodes, wmap.Node{Name: r.strs[ref], Kind: kind})
+	}
+
+	lp, err := d.uvarint("link prefix")
+	if err != nil {
+		return nil, err
+	}
+	if lp > uint64(prevLinks) {
+		return nil, corruptf(d.abs(), "link prefix %d exceeds previous topology's %d links", lp, prevLinks)
+	}
+	nl, err := d.count("topology links")
+	if err != nil {
+		return nil, err
+	}
+	t.links = make([]wmap.Link, 0, int(lp)+nl)
+	if prev != nil {
+		t.links = append(t.links, prev.links[:lp]...)
+	}
+	for i := 0; i < nl; i++ {
+		var refs [4]uint64
+		for j := range refs {
+			ref, err := d.uvarint("link string ref")
+			if err != nil {
+				return nil, err
+			}
+			if ref >= uint64(len(r.strs)) {
+				return nil, corruptf(d.abs(), "link string ref %d outside string table of %d", ref, len(r.strs))
+			}
+			refs[j] = ref
+		}
+		t.links = append(t.links, wmap.Link{
+			A: r.strs[refs[0]], B: r.strs[refs[1]],
+			LabelA: r.strs[refs[2]], LabelB: r.strs[refs[3]],
+		})
+	}
+	return t, nil
+}
+
+func (r *Reader) parseBlockMeta(d *dec, footerStart int64) (blockMeta, error) {
+	var m blockMeta
+	var raw [8]uint64
+	for i := range raw {
+		v, err := d.uvarint("block index field")
+		if err != nil {
+			return m, err
+		}
+		raw[i] = v
+	}
+	m.mapRef = raw[0]
+	m.offset = int64(raw[1])
+	m.payloadLen = int(raw[2])
+	m.topoIndex = int(raw[3])
+	m.baseUnix = int64(raw[4])
+	m.lastUnix = int64(raw[5])
+	m.points = int(raw[6])
+	m.links = int(raw[7])
+	switch {
+	case m.mapRef >= uint64(len(r.strs)):
+		return m, corruptf(d.abs(), "block map ref %d outside string table of %d", m.mapRef, len(r.strs))
+	case raw[3] >= uint64(len(r.topos)):
+		return m, corruptf(d.abs(), "block topology index %d outside table of %d", raw[3], len(r.topos))
+	case m.links != len(r.topos[m.topoIndex].links):
+		return m, corruptf(d.abs(), "block link count %d disagrees with topology's %d",
+			m.links, len(r.topos[m.topoIndex].links))
+	case m.points < 1:
+		return m, corruptf(d.abs(), "block with %d points", m.points)
+	case raw[4] > maxUnixSeconds || m.lastUnix < m.baseUnix:
+		return m, corruptf(d.abs(), "block time range [%d, %d] invalid", m.baseUnix, m.lastUnix)
+	case m.offset < int64(len(headerMagic)) || raw[2] > math.MaxInt32 ||
+		m.offset+int64(frameOverhead)+int64(m.payloadLen) > footerStart:
+		return m, corruptf(d.abs(), "block frame [%d, +%d] outside data section", m.offset, m.payloadLen)
+	}
+	return m, nil
+}
+
+// Maps lists the archived map ids in lexicographic order.
+func (r *Reader) Maps() []wmap.MapID {
+	return append([]wmap.MapID(nil), r.mapIDs...)
+}
+
+// Bounds returns a map's first and last snapshot times.
+func (r *Reader) Bounds(id wmap.MapID) (from, to time.Time, ok bool) {
+	bl := r.perMap[id]
+	if len(bl) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return time.Unix(r.blocks[bl[0]].baseUnix, 0).UTC(),
+		time.Unix(r.blocks[bl[len(bl)-1]].lastUnix, 0).UTC(), true
+}
+
+// Snapshots returns a map's archived snapshot count.
+func (r *Reader) Snapshots(id wmap.MapID) int {
+	n := 0
+	for _, bi := range r.perMap[id] {
+		n += r.blocks[bi].points
+	}
+	return n
+}
+
+// Stats summarizes the archive.
+func (r *Reader) Stats() ArchiveStats {
+	s := ArchiveStats{
+		Blocks:     len(r.blocks),
+		Topologies: len(r.topos),
+		Strings:    len(r.strs),
+		Bytes:      r.size,
+	}
+	for i := range r.blocks {
+		s.Snapshots += r.blocks[i].points
+	}
+	return s
+}
+
+// decodedBlock is one block's columns in memory; unneeded columns stay nil.
+type decodedBlock struct {
+	meta  *blockMeta
+	times []int64
+	cols  [][]wmap.Load
+}
+
+// decodeBlock reads and decodes one block. want selects load columns by
+// column index (nil means all); unselected columns are skipped without
+// decoding — the columnar payoff for single-link queries.
+func (r *Reader) decodeBlock(bi int, want func(ci int) bool) (*decodedBlock, error) {
+	meta := &r.blocks[bi]
+	frame, err := r.readAt(meta.offset, frameOverhead+meta.payloadLen)
+	if err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(frame[:4]); int(got) != meta.payloadLen {
+		return nil, corruptf(meta.offset, "block length prefix %d disagrees with index's %d", got, meta.payloadLen)
+	}
+	payload := frame[4 : 4+meta.payloadLen]
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(frame[4+meta.payloadLen:]) {
+		return nil, corruptf(meta.offset, "block checksum mismatch")
+	}
+	d := &dec{b: payload, off: meta.offset + 4}
+
+	var hdr [5]uint64
+	names := [5]string{"map ref", "topology index", "base time", "point count", "link count"}
+	for i := range hdr {
+		v, err := d.uvarint(names[i])
+		if err != nil {
+			return nil, err
+		}
+		hdr[i] = v
+	}
+	if hdr[0] != meta.mapRef || hdr[1] != uint64(meta.topoIndex) || hdr[2] != uint64(meta.baseUnix) ||
+		hdr[3] != uint64(meta.points) || hdr[4] != uint64(meta.links) {
+		return nil, corruptf(meta.offset+4, "block header disagrees with footer index")
+	}
+	n, L := meta.points, meta.links
+
+	timeLen, err := d.uvarint("time column length")
+	if err != nil {
+		return nil, err
+	}
+	colLens := make([]uint64, 2*L)
+	var colSum uint64
+	for i := range colLens {
+		v, err := d.uvarint("column length")
+		if err != nil {
+			return nil, err
+		}
+		colLens[i] = v
+		colSum += v
+	}
+	if timeLen+colSum != uint64(d.remaining()) {
+		return nil, corruptf(d.abs(), "column directory claims %d bytes, %d remain", timeLen+colSum, d.remaining())
+	}
+	if uint64(n-1) > timeLen {
+		return nil, corruptf(d.abs(), "%d points cannot fit a %d-byte time column", n, timeLen)
+	}
+
+	db := &decodedBlock{meta: meta, times: make([]int64, 0, n), cols: make([][]wmap.Load, 2*L)}
+	tb, err := d.bytes(int(timeLen), "time column")
+	if err != nil {
+		return nil, err
+	}
+	td := &dec{b: tb, off: d.abs() - int64(len(tb))}
+	t := meta.baseUnix
+	db.times = append(db.times, t)
+	for i := 1; i < n; i++ {
+		delta, err := td.uvarint("time delta")
+		if err != nil {
+			return nil, err
+		}
+		if delta == 0 || t+int64(delta) > maxUnixSeconds {
+			return nil, corruptf(td.abs(), "non-increasing or absurd time delta %d", delta)
+		}
+		t += int64(delta)
+		db.times = append(db.times, t)
+	}
+	if td.remaining() != 0 {
+		return nil, corruptf(td.abs(), "%d trailing bytes in time column", td.remaining())
+	}
+	if t != meta.lastUnix {
+		return nil, corruptf(td.abs(), "block last time %d disagrees with index's %d", t, meta.lastUnix)
+	}
+
+	for ci := 0; ci < 2*L; ci++ {
+		cb, err := d.bytes(int(colLens[ci]), "load column")
+		if err != nil {
+			return nil, err
+		}
+		if want != nil && !want(ci) {
+			continue
+		}
+		if uint64(n) > colLens[ci] {
+			return nil, corruptf(d.abs(), "%d points cannot fit a %d-byte load column", n, colLens[ci])
+		}
+		cd := &dec{b: cb, off: d.abs() - int64(len(cb))}
+		col := make([]wmap.Load, 0, n)
+		v, err := cd.uvarint("load value")
+		if err != nil {
+			return nil, err
+		}
+		load := int64(v)
+		if !wmap.Load(load).Valid() {
+			return nil, corruptf(cd.abs(), "load %d out of [0, 100]", load)
+		}
+		col = append(col, wmap.Load(load))
+		for i := 1; i < n; i++ {
+			delta, err := cd.varint("load delta")
+			if err != nil {
+				return nil, err
+			}
+			load += delta
+			if !wmap.Load(load).Valid() {
+				return nil, corruptf(cd.abs(), "load %d out of [0, 100]", load)
+			}
+			col = append(col, wmap.Load(load))
+		}
+		if cd.remaining() != 0 {
+			return nil, corruptf(cd.abs(), "%d trailing bytes in load column", cd.remaining())
+		}
+		db.cols[ci] = col
+	}
+	return db, nil
+}
+
+// materialize rebuilds the full snapshot at point pi of a decoded block.
+// The returned map shares no mutable state with the reader.
+func (r *Reader) materialize(db *decodedBlock, pi int) *wmap.Map {
+	topo := r.topos[db.meta.topoIndex]
+	m := &wmap.Map{
+		ID:    wmap.MapID(r.strs[db.meta.mapRef]),
+		Time:  time.Unix(db.times[pi], 0).UTC(),
+		Nodes: append([]wmap.Node(nil), topo.nodes...),
+		Links: append([]wmap.Link(nil), topo.links...),
+	}
+	for i := range m.Links {
+		m.Links[i].LoadAB = db.cols[2*i][pi]
+		m.Links[i].LoadBA = db.cols[2*i+1][pi]
+	}
+	return m
+}
+
+// blockRange binary-searches the map's chronological block list for the
+// blocks overlapping [fromU, toU] — the O(log n) seek the footer index
+// exists for.
+func (r *Reader) blockRange(id wmap.MapID, fromU, toU int64) []int {
+	bl := r.perMap[id]
+	// Blocks are sorted and non-overlapping, so lastUnix is sorted too.
+	lo := sort.Search(len(bl), func(i int) bool { return r.blocks[bl[i]].lastUnix >= fromU })
+	hi := sort.Search(len(bl), func(i int) bool { return r.blocks[bl[i]].baseUnix > toU })
+	if lo >= hi {
+		return nil
+	}
+	return bl[lo:hi]
+}
+
+// rangeBounds resolves the optional query window: zero times mean
+// unbounded; both ends are inclusive.
+func rangeBounds(from, to time.Time) (int64, int64) {
+	fromU, toU := int64(math.MinInt64), int64(math.MaxInt64)
+	if !from.IsZero() {
+		fromU = from.Unix()
+	}
+	if !to.IsZero() {
+		toU = to.Unix()
+	}
+	return fromU, toU
+}
+
+// SnapshotAt materializes the latest snapshot of the map at or before at,
+// like TimeSeries.At. It fails with ErrUnknownMap or ErrNoSnapshot.
+func (r *Reader) SnapshotAt(id wmap.MapID, at time.Time) (*wmap.Map, error) {
+	bl := r.perMap[id]
+	if len(bl) == 0 {
+		return nil, fmt.Errorf("tsdb: map %q: %w", id, ErrUnknownMap)
+	}
+	atU := at.Unix()
+	i := sort.Search(len(bl), func(k int) bool { return r.blocks[bl[k]].baseUnix > atU }) - 1
+	if i < 0 {
+		return nil, fmt.Errorf("tsdb: %s at %s: %w", id, at.UTC(), ErrNoSnapshot)
+	}
+	db, err := r.decodeBlock(bl[i], nil)
+	if err != nil {
+		return nil, err
+	}
+	pi := sort.Search(len(db.times), func(k int) bool { return db.times[k] > atU }) - 1
+	return r.materialize(db, pi), nil
+}
+
+// mapHasLink reports whether any topology used by the map's blocks
+// contains the link.
+func (r *Reader) mapHasLink(id wmap.MapID, key LinkKey) bool {
+	seen := make(map[int]bool)
+	for _, bi := range r.perMap[id] {
+		ti := r.blocks[bi].topoIndex
+		if seen[ti] {
+			continue
+		}
+		seen[ti] = true
+		if r.topos[ti].linkIndex(key) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkSeries extracts one link's two directed load series over [from, to]
+// (inclusive; zero times mean unbounded). Only the link's two columns are
+// decoded per block. Periods where the link is absent from the topology
+// contribute no points; a link no topology of the map contains fails with
+// ErrUnknownLink.
+func (r *Reader) LinkSeries(id wmap.MapID, key LinkKey, from, to time.Time) (ab, ba *stats.TimeSeries, err error) {
+	if len(r.perMap[id]) == 0 {
+		return nil, nil, fmt.Errorf("tsdb: map %q: %w", id, ErrUnknownMap)
+	}
+	if !r.mapHasLink(id, key) {
+		return nil, nil, fmt.Errorf("tsdb: %s link %s: %w", id, key, ErrUnknownLink)
+	}
+	fromU, toU := rangeBounds(from, to)
+	ab, ba = stats.NewTimeSeries(), stats.NewTimeSeries()
+	for _, bi := range r.blockRange(id, fromU, toU) {
+		ci := r.topos[r.blocks[bi].topoIndex].linkIndex(key)
+		if ci < 0 {
+			continue
+		}
+		db, err := r.decodeBlock(bi, func(c int) bool { return c == 2*ci || c == 2*ci+1 })
+		if err != nil {
+			return nil, nil, err
+		}
+		lo := sort.Search(len(db.times), func(i int) bool { return db.times[i] >= fromU })
+		hi := sort.Search(len(db.times), func(i int) bool { return db.times[i] > toU })
+		for pi := lo; pi < hi; pi++ {
+			at := time.Unix(db.times[pi], 0).UTC()
+			ab.Append(at, float64(db.cols[2*ci][pi]))
+			ba.Append(at, float64(db.cols[2*ci+1][pi]))
+		}
+	}
+	return ab, ba, nil
+}
+
+// ResolveLinkID maps a query-API link id back to its map and key, scanning
+// every topology once and caching the directory.
+func (r *Reader) ResolveLinkID(linkID string) (wmap.MapID, LinkKey, bool) {
+	r.linkDirOnce.Do(func() {
+		r.linkDir = make(map[string]linkAddr)
+		for _, id := range r.mapIDs {
+			seen := make(map[int]bool)
+			for _, bi := range r.perMap[id] {
+				ti := r.blocks[bi].topoIndex
+				if seen[ti] {
+					continue
+				}
+				seen[ti] = true
+				for _, key := range linkKeys(r.topos[ti].links) {
+					r.linkDir[key.ID(id)] = linkAddr{mapID: id, key: key}
+				}
+			}
+		}
+	})
+	a, ok := r.linkDir[linkID]
+	return a.mapID, a.key, ok
+}

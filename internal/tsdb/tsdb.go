@@ -1,0 +1,199 @@
+// Package tsdb implements a columnar time-series archive for extracted
+// weather-map data — the storage layer that replaces re-walking ~210k YAML
+// snapshot files with cheap time-range queries.
+//
+// An archive is a single append-only file of blocks. Each block covers a
+// contiguous time window of one map under one fixed topology and stores the
+// snapshot times plus two delta-encoded varint load columns per link (one
+// per direction). Topologies — router names, link labels, endpoints — are
+// interned once in a file-level dictionary: strings are written a single
+// time, and each distinct topology is stored once in a footer table,
+// delta-encoded against its predecessor (topology changes are rare, so most
+// entries are a short prefix reference plus the few changed rows). A footer
+// index records every block's map, time range, and file offset, enabling
+// O(log n) time-range seeks that decode only the blocks (and, for
+// single-link queries, only the columns) a query touches.
+//
+// Corrupted or truncated archives fail with typed errors (*CorruptError),
+// never a panic; every section is CRC32-checked.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+
+	"ovhweather/internal/wmap"
+)
+
+// Sentinel errors. Read-side structural failures are *CorruptError instead.
+var (
+	// ErrClosed reports a write to a closed Writer.
+	ErrClosed = errors.New("tsdb: writer closed")
+	// ErrOutOfOrder reports an Append that does not advance a map's clock.
+	ErrOutOfOrder = errors.New("tsdb: snapshot out of chronological order")
+	// ErrNoSnapshot reports a point query before a map's first snapshot.
+	ErrNoSnapshot = errors.New("tsdb: no snapshot at or before requested time")
+	// ErrUnknownMap reports a query for a map the archive does not hold.
+	ErrUnknownMap = errors.New("tsdb: map not present in archive")
+	// ErrUnknownLink reports a link query no topology of the map matches.
+	ErrUnknownLink = errors.New("tsdb: link not present in archive")
+)
+
+// CorruptError reports a structurally invalid archive: bad magic, failed
+// checksum, truncated section, or an impossible field value. The offset is
+// the file position of the first byte the reader could not accept.
+type CorruptError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("tsdb: corrupt archive at offset %d: %s", e.Offset, e.Reason)
+}
+
+// corruptf builds a *CorruptError at the given offset.
+func corruptf(off int64, format string, args ...any) error {
+	return &CorruptError{Offset: off, Reason: fmt.Sprintf(format, args...)}
+}
+
+// topology is one interned dictionary entry: the nodes and links of a map
+// with the per-direction loads zeroed. Blocks reference topologies by table
+// index; equal topologies share one entry.
+type topology struct {
+	nodes []wmap.Node
+	links []wmap.Link // loads zeroed; order is the column order of blocks
+}
+
+// newTopology copies a snapshot's skeleton, rejecting node kinds the
+// archive's one-byte encoding cannot represent.
+func newTopology(m *wmap.Map) (*topology, error) {
+	for _, n := range m.Nodes {
+		if n.Kind != wmap.Router && n.Kind != wmap.Peering {
+			return nil, fmt.Errorf("tsdb: node %q has unsupported kind %q", n.Name, n.Kind)
+		}
+	}
+	t := &topology{
+		nodes: append([]wmap.Node(nil), m.Nodes...),
+		links: make([]wmap.Link, len(m.Links)),
+	}
+	for i, l := range m.Links {
+		l.LoadAB, l.LoadBA = 0, 0
+		t.links[i] = l
+	}
+	return t, nil
+}
+
+// equalMap reports whether the snapshot has exactly this topology,
+// ignoring loads.
+func (t *topology) equalMap(m *wmap.Map) bool {
+	if len(t.nodes) != len(m.Nodes) || len(t.links) != len(m.Links) {
+		return false
+	}
+	for i, n := range m.Nodes {
+		if t.nodes[i] != n {
+			return false
+		}
+	}
+	for i, l := range m.Links {
+		tl := t.links[i]
+		if tl.A != l.A || tl.B != l.B || tl.LabelA != l.LabelA || tl.LabelB != l.LabelB {
+			return false
+		}
+	}
+	return true
+}
+
+// fingerprintTopology hashes a snapshot's skeleton for dictionary lookup;
+// loads never contribute.
+func fingerprintTopology(nodes []wmap.Node, links []wmap.Link) uint64 {
+	h := fnv.New64a()
+	sep := []byte{0}
+	for _, n := range nodes {
+		h.Write([]byte(n.Name))
+		h.Write(sep)
+		h.Write([]byte(n.Kind))
+		h.Write(sep)
+	}
+	h.Write([]byte{1})
+	for _, l := range links {
+		for _, s := range [4]string{l.A, l.B, l.LabelA, l.LabelB} {
+			h.Write([]byte(s))
+			h.Write(sep)
+		}
+	}
+	return h.Sum64()
+}
+
+// LinkKey identifies one link within a map across snapshots: the endpoint
+// pair, the per-direction labels, and — because parallel links may repeat
+// labels — the ordinal among links sharing all four strings, counted in
+// topology order.
+type LinkKey struct {
+	A, B           string
+	LabelA, LabelB string
+	Ordinal        int
+}
+
+func (k LinkKey) String() string {
+	return fmt.Sprintf("%s(%s)-%s(%s)#%d", k.A, k.LabelA, k.B, k.LabelB, k.Ordinal)
+}
+
+// matches reports whether the link has this key's four strings.
+func (k LinkKey) matches(l wmap.Link) bool {
+	return k.A == l.A && k.B == l.B && k.LabelA == l.LabelA && k.LabelB == l.LabelB
+}
+
+// ID derives the stable identifier the query API exposes for the link on
+// the given map: a 64-bit FNV-1a over the map id, the key strings, and the
+// ordinal, rendered as hex.
+func (k LinkKey) ID(id wmap.MapID) string {
+	h := fnv.New64a()
+	sep := []byte{0}
+	for _, s := range [5]string{string(id), k.A, k.B, k.LabelA, k.LabelB} {
+		h.Write([]byte(s))
+		h.Write(sep)
+	}
+	var ord [8]byte
+	for i := 0; i < 8; i++ {
+		ord[i] = byte(k.Ordinal >> (8 * i))
+	}
+	h.Write(ord[:])
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// LinkKeysOf returns the key of every link of the snapshot, in link order,
+// with ordinals assigned among identical (A, B, LabelA, LabelB) tuples.
+func LinkKeysOf(m *wmap.Map) []LinkKey {
+	return linkKeys(m.Links)
+}
+
+func linkKeys(links []wmap.Link) []LinkKey {
+	out := make([]LinkKey, len(links))
+	for i, l := range links {
+		k := LinkKey{A: l.A, B: l.B, LabelA: l.LabelA, LabelB: l.LabelB}
+		for j := 0; j < i; j++ {
+			if k.matches(links[j]) {
+				k.Ordinal++
+			}
+		}
+		out[i] = k
+	}
+	return out
+}
+
+// linkIndex returns the column-group index of the key's link in the
+// topology, or -1 when absent.
+func (t *topology) linkIndex(k LinkKey) int {
+	seen := 0
+	for i, l := range t.links {
+		if k.matches(l) {
+			if seen == k.Ordinal {
+				return i
+			}
+			seen++
+		}
+	}
+	return -1
+}

@@ -1,0 +1,404 @@
+package tsdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"ovhweather/internal/wmap"
+)
+
+// DefaultBlockPoints is how many snapshots one block holds at most; a block
+// also closes early whenever its map's topology changes, since every block
+// references exactly one dictionary entry.
+const DefaultBlockPoints = 512
+
+// blockMeta is one footer-index row: everything a reader needs to decide
+// whether a block overlaps a query and to fetch it, without decoding it.
+type blockMeta struct {
+	mapRef     uint64 // string-table id of the map id
+	offset     int64  // file offset of the block's length prefix
+	payloadLen int
+	topoIndex  int
+	baseUnix   int64 // first snapshot time, unix seconds
+	lastUnix   int64 // last snapshot time, unix seconds
+	points     int
+	links      int
+}
+
+// openBlock accumulates one map's current window before encoding.
+type openBlock struct {
+	topoIndex int
+	times     []int64
+	cols      [][]uint8 // 2L columns: link i stores AB at 2i, BA at 2i+1
+}
+
+// ArchiveStats summarizes an archive for logs, tests, and benchmarks.
+type ArchiveStats struct {
+	Blocks     int
+	Snapshots  int
+	Topologies int
+	Strings    int
+	Bytes      int64
+}
+
+// Writer builds an archive by appending snapshots. Appends must be
+// chronological per map (maps may interleave freely); Close flushes the
+// open blocks and writes the footer — an unclosed archive has no footer and
+// is rejected by the reader as truncated. Writer is not safe for concurrent
+// use; the parallel pipeline serializes emission before it reaches Append.
+type Writer struct {
+	w      io.Writer
+	bw     *bufio.Writer // non-nil when Create wrapped a file
+	closer io.Closer
+	off    int64
+	err    error // sticky: first write failure poisons the writer
+	closed bool
+
+	blockPoints int
+
+	strIDs map[string]uint64
+	strs   []string
+
+	topos    []*topology
+	topoByFP map[uint64][]int
+
+	open  map[wmap.MapID]*openBlock
+	last  map[wmap.MapID]int64
+	index []blockMeta
+
+	snapshots int
+}
+
+// NewWriter returns a Writer emitting the archive to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{
+		w:           w,
+		blockPoints: DefaultBlockPoints,
+		strIDs:      make(map[string]uint64),
+		topoByFP:    make(map[uint64][]int),
+		open:        make(map[wmap.MapID]*openBlock),
+		last:        make(map[wmap.MapID]int64),
+	}
+}
+
+// Create creates (or truncates) an archive file at path.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	w := NewWriter(bw)
+	w.bw, w.closer = bw, f
+	return w, nil
+}
+
+// SetBlockPoints overrides the per-block snapshot capacity. It only affects
+// blocks opened after the call; tests use it to force block rotation.
+func (w *Writer) SetBlockPoints(n int) {
+	if n > 0 {
+		w.blockPoints = n
+	}
+}
+
+// Stats returns the running totals; Bytes is final only after Close.
+func (w *Writer) Stats() ArchiveStats {
+	return ArchiveStats{
+		Blocks:     len(w.index),
+		Snapshots:  w.snapshots,
+		Topologies: len(w.topos),
+		Strings:    len(w.strs),
+		Bytes:      w.off,
+	}
+}
+
+// intern returns the string-table id of s, adding it on first sight.
+func (w *Writer) intern(s string) uint64 {
+	if id, ok := w.strIDs[s]; ok {
+		return id
+	}
+	id := uint64(len(w.strs))
+	w.strIDs[s] = id
+	w.strs = append(w.strs, s)
+	return id
+}
+
+// internTopology returns the dictionary index of the snapshot's topology,
+// adding a new entry (and interning its strings) when unseen.
+func (w *Writer) internTopology(m *wmap.Map) (int, error) {
+	fp := fingerprintTopology(m.Nodes, m.Links)
+	for _, i := range w.topoByFP[fp] {
+		if w.topos[i].equalMap(m) {
+			return i, nil
+		}
+	}
+	t, err := newTopology(m)
+	if err != nil {
+		return 0, err
+	}
+	for _, n := range t.nodes {
+		w.intern(n.Name)
+	}
+	for _, l := range t.links {
+		w.intern(l.A)
+		w.intern(l.B)
+		w.intern(l.LabelA)
+		w.intern(l.LabelB)
+	}
+	idx := len(w.topos)
+	w.topos = append(w.topos, t)
+	w.topoByFP[fp] = append(w.topoByFP[fp], idx)
+	return idx, nil
+}
+
+// Append records one snapshot. The snapshot must be later than the map's
+// previous one (ErrOutOfOrder otherwise) and carry loads in [0, 100].
+func (w *Writer) Append(m *wmap.Map) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return ErrClosed
+	}
+	if m == nil || m.ID == "" {
+		return fmt.Errorf("tsdb: snapshot without a map id")
+	}
+	t := m.Time.Unix()
+	if t < 0 {
+		return fmt.Errorf("tsdb: %s snapshot at %s: pre-1970 timestamps unsupported", m.ID, m.Time.UTC())
+	}
+	if lt, ok := w.last[m.ID]; ok && t <= lt {
+		return fmt.Errorf("tsdb: %s snapshot at %s not after previous: %w", m.ID, m.Time.UTC(), ErrOutOfOrder)
+	}
+	for i, l := range m.Links {
+		if !l.LoadAB.Valid() || !l.LoadBA.Valid() {
+			return fmt.Errorf("tsdb: %s snapshot at %s: link %d (%s-%s) load out of [0, 100]",
+				m.ID, m.Time.UTC(), i, l.A, l.B)
+		}
+	}
+	ti, err := w.internTopology(m)
+	if err != nil {
+		return err
+	}
+	ob := w.open[m.ID]
+	if ob != nil && (ob.topoIndex != ti || len(ob.times) >= w.blockPoints) {
+		if err := w.flushBlock(m.ID, ob); err != nil {
+			return err
+		}
+		ob = nil
+	}
+	if ob == nil {
+		ob = &openBlock{topoIndex: ti, cols: make([][]uint8, 2*len(m.Links))}
+		w.open[m.ID] = ob
+	}
+	ob.times = append(ob.times, t)
+	for i, l := range m.Links {
+		ob.cols[2*i] = append(ob.cols[2*i], uint8(l.LoadAB))
+		ob.cols[2*i+1] = append(ob.cols[2*i+1], uint8(l.LoadBA))
+	}
+	w.last[m.ID] = t
+	w.snapshots++
+	return nil
+}
+
+// writeAll writes every buffer, tracking the file offset; the first failure
+// poisons the writer.
+func (w *Writer) writeAll(bufs ...[]byte) error {
+	for _, b := range bufs {
+		n, err := w.w.Write(b)
+		w.off += int64(n)
+		if err != nil {
+			w.err = fmt.Errorf("tsdb: write: %w", err)
+			return w.err
+		}
+	}
+	return nil
+}
+
+// ensureHeader emits the file magic before the first block or the footer.
+func (w *Writer) ensureHeader() error {
+	if w.off > 0 {
+		return nil
+	}
+	return w.writeAll([]byte(headerMagic))
+}
+
+// flushBlock encodes and writes one block:
+//
+//	uvarint mapRef, topoIndex, baseUnix, pointCount n, linkCount L
+//	uvarint timeColLen, 2L × uvarint colLen   (the column directory)
+//	time column: n-1 uvarint deltas (seconds, strictly positive)
+//	2L load columns: uvarint first value, n-1 zigzag varint deltas
+//
+// framed as u32le payloadLen + payload + u32le CRC32(payload).
+func (w *Writer) flushBlock(id wmap.MapID, ob *openBlock) error {
+	n := len(ob.times)
+	if n == 0 {
+		return nil
+	}
+	if err := w.ensureHeader(); err != nil {
+		return err
+	}
+	L := len(ob.cols) / 2
+	payload := make([]byte, 0, 32+4*len(ob.cols)+n+n*len(ob.cols)/4)
+	payload = binary.AppendUvarint(payload, w.intern(string(id)))
+	payload = binary.AppendUvarint(payload, uint64(ob.topoIndex))
+	payload = binary.AppendUvarint(payload, uint64(ob.times[0]))
+	payload = binary.AppendUvarint(payload, uint64(n))
+	payload = binary.AppendUvarint(payload, uint64(L))
+
+	timeCol := make([]byte, 0, n)
+	for i := 1; i < n; i++ {
+		timeCol = binary.AppendUvarint(timeCol, uint64(ob.times[i]-ob.times[i-1]))
+	}
+	colBufs := make([][]byte, len(ob.cols))
+	for c, col := range ob.cols {
+		buf := make([]byte, 0, len(col)+1)
+		buf = binary.AppendUvarint(buf, uint64(col[0]))
+		for i := 1; i < len(col); i++ {
+			buf = binary.AppendVarint(buf, int64(col[i])-int64(col[i-1]))
+		}
+		colBufs[c] = buf
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(timeCol)))
+	for _, cb := range colBufs {
+		payload = binary.AppendUvarint(payload, uint64(len(cb)))
+	}
+	payload = append(payload, timeCol...)
+	for _, cb := range colBufs {
+		payload = append(payload, cb...)
+	}
+	if len(payload) > math.MaxUint32 {
+		return fmt.Errorf("tsdb: block payload of %d bytes exceeds the u32 frame", len(payload))
+	}
+
+	meta := blockMeta{
+		mapRef:     w.strIDs[string(id)],
+		offset:     w.off,
+		payloadLen: len(payload),
+		topoIndex:  ob.topoIndex,
+		baseUnix:   ob.times[0],
+		lastUnix:   ob.times[n-1],
+		points:     n,
+		links:      L,
+	}
+	var frame [4]byte
+	binary.LittleEndian.PutUint32(frame[:], uint32(len(payload)))
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	if err := w.writeAll(frame[:], payload, sum[:]); err != nil {
+		return err
+	}
+	w.index = append(w.index, meta)
+	return nil
+}
+
+// encodeFooter renders the string table, the prefix-delta topology table,
+// and the block index.
+func (w *Writer) encodeFooter() []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(w.strs)))
+	for _, s := range w.strs {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(w.topos)))
+	var prev *topology
+	for _, t := range w.topos {
+		np, lp := 0, 0
+		if prev != nil {
+			for np < len(prev.nodes) && np < len(t.nodes) && prev.nodes[np] == t.nodes[np] {
+				np++
+			}
+			for lp < len(prev.links) && lp < len(t.links) && prev.links[lp] == t.links[lp] {
+				lp++
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(np))
+		buf = binary.AppendUvarint(buf, uint64(len(t.nodes)-np))
+		for _, n := range t.nodes[np:] {
+			buf = binary.AppendUvarint(buf, w.strIDs[n.Name])
+			kind := byte(0)
+			if n.Kind == wmap.Peering {
+				kind = 1
+			}
+			buf = append(buf, kind)
+		}
+		buf = binary.AppendUvarint(buf, uint64(lp))
+		buf = binary.AppendUvarint(buf, uint64(len(t.links)-lp))
+		for _, l := range t.links[lp:] {
+			buf = binary.AppendUvarint(buf, w.strIDs[l.A])
+			buf = binary.AppendUvarint(buf, w.strIDs[l.B])
+			buf = binary.AppendUvarint(buf, w.strIDs[l.LabelA])
+			buf = binary.AppendUvarint(buf, w.strIDs[l.LabelB])
+		}
+		prev = t
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(w.index)))
+	for _, m := range w.index {
+		buf = binary.AppendUvarint(buf, m.mapRef)
+		buf = binary.AppendUvarint(buf, uint64(m.offset))
+		buf = binary.AppendUvarint(buf, uint64(m.payloadLen))
+		buf = binary.AppendUvarint(buf, uint64(m.topoIndex))
+		buf = binary.AppendUvarint(buf, uint64(m.baseUnix))
+		buf = binary.AppendUvarint(buf, uint64(m.lastUnix))
+		buf = binary.AppendUvarint(buf, uint64(m.points))
+		buf = binary.AppendUvarint(buf, uint64(m.links))
+	}
+	return buf
+}
+
+// Close flushes every open block, writes the footer, and closes the
+// underlying file when the writer owns one. The writer is unusable after.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if w.err == nil {
+		w.err = w.finish()
+	}
+	if w.bw != nil {
+		if ferr := w.bw.Flush(); ferr != nil && w.err == nil {
+			w.err = fmt.Errorf("tsdb: flush: %w", ferr)
+		}
+	}
+	if w.closer != nil {
+		if cerr := w.closer.Close(); cerr != nil && w.err == nil {
+			w.err = fmt.Errorf("tsdb: close: %w", cerr)
+		}
+	}
+	return w.err
+}
+
+func (w *Writer) finish() error {
+	if err := w.ensureHeader(); err != nil {
+		return err
+	}
+	// Flush open blocks in map-id order so the byte output is a pure
+	// function of the append sequence.
+	ids := make([]string, 0, len(w.open))
+	for id := range w.open {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := w.flushBlock(wmap.MapID(id), w.open[wmap.MapID(id)]); err != nil {
+			return err
+		}
+		delete(w.open, wmap.MapID(id))
+	}
+	footer := w.encodeFooter()
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(footer))
+	var flen [8]byte
+	binary.LittleEndian.PutUint64(flen[:], uint64(len(footer)))
+	return w.writeAll(footer, sum[:], flen[:], []byte(tailMagic))
+}
