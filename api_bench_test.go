@@ -1,0 +1,121 @@
+// Serving-path benchmarks for the query API: concurrent clients hammering
+// the link-load and topology endpoints over the 7-day archive fixture, with
+// the decoded-block cache cold (every request decodes) and hot (steady
+// state — the dashboard refresh pattern). Run with:
+//
+//	go test -run xxx -bench BenchmarkAPI -benchmem .
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ovhweather/internal/tsdb"
+	"ovhweather/internal/wmap"
+)
+
+// benchAPIHandler builds an API handler over the shared archive fixture.
+// withCache attaches the default 64 MiB decoded-block cache to a fresh
+// reader; without it every request pays the full block decode.
+func benchAPIHandler(b *testing.B, withCache bool) (http.Handler, *tsdb.Reader) {
+	b.Helper()
+	f := getArchiveFixture(b)
+	rd, err := tsdb.NewReader(bytes.NewReader(f.archive), int64(len(f.archive)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if withCache {
+		rd.SetBlockCache(tsdb.NewBlockCache(tsdb.DefaultBlockCacheBytes))
+	}
+	return tsdb.NewAPIHandler(rd), rd
+}
+
+// hitAPI performs one in-process request and fails the benchmark on any
+// status other than 200.
+func hitAPI(b *testing.B, h http.Handler, url string) {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("GET %s = %d (%s)", url, rec.Code, rec.Body)
+	}
+}
+
+// benchServe drives the handler from parallel clients, the shape of a
+// dashboard fan-out: every goroutine loops over the same URL set.
+func benchServe(b *testing.B, h http.Handler, urls []string) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			rec := httptest.NewRecorder()
+			rec.Body = bytes.NewBuffer(make([]byte, 0, 1<<16))
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, urls[i%len(urls)], nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("GET %s = %d", urls[i%len(urls)], rec.Code)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkAPILinkLoad serves a full-range raw link-load series — two
+// columns out of every block in the 7-day archive per request.
+func BenchmarkAPILinkLoad(b *testing.B) {
+	f := getArchiveFixture(b)
+	m, err := f.rd.SnapshotAt(wmap.Europe, f.to)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := tsdb.LinkKeysOf(m)
+	urls := make([]string, 0, 4)
+	for _, k := range keys[:4] {
+		urls = append(urls, "/api/v1/links/"+k.ID(wmap.Europe)+"/load")
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		h, _ := benchAPIHandler(b, false)
+		benchServe(b, h, urls)
+	})
+	b.Run("hot", func(b *testing.B) {
+		h, rd := benchAPIHandler(b, true)
+		for _, u := range urls { // warm the cache outside the timer
+			hitAPI(b, h, u)
+		}
+		benchServe(b, h, urls)
+		b.StopTimer()
+		if s := rd.BlockCache().Stats(); s.Hits == 0 {
+			b.Fatalf("hot benchmark recorded no cache hits: %+v", s)
+		}
+	})
+}
+
+// BenchmarkAPITopology serves point-in-time topology snapshots at rotating
+// offsets — one full-block decode (or cache hit) per request.
+func BenchmarkAPITopology(b *testing.B) {
+	f := getArchiveFixture(b)
+	urls := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		at := f.from.Add(time.Duration(i*21) * time.Hour)
+		urls = append(urls, "/api/v1/topology?map=europe&at="+at.Format(time.RFC3339))
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		h, _ := benchAPIHandler(b, false)
+		benchServe(b, h, urls)
+	})
+	b.Run("hot", func(b *testing.B) {
+		h, rd := benchAPIHandler(b, true)
+		for _, u := range urls {
+			hitAPI(b, h, u)
+		}
+		benchServe(b, h, urls)
+		b.StopTimer()
+		if s := rd.BlockCache().Stats(); s.Hits == 0 {
+			b.Fatalf("hot benchmark recorded no cache hits: %+v", s)
+		}
+	})
+}

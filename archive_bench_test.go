@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -130,6 +131,30 @@ func BenchmarkFoldCorpus(b *testing.B) {
 			}
 			if err := cur.Err(); err != nil || n != int64(f.snapshots) {
 				b.Fatalf("cursor: %d snapshots, err %v", n, err)
+			}
+		}
+	})
+	// The PR 4 fold path: parallel read-ahead decode over the decoded-block
+	// cache, folding through the allocation-free scratch view. The first
+	// iteration decodes and fills the cache; steady state (a dashboard
+	// re-folding hot history) never decodes and never clones.
+	b.Run("tsdb-parallel", func(b *testing.B) {
+		rd, err := tsdb.NewReader(bytes.NewReader(f.archive), int64(len(f.archive)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd.SetBlockCache(tsdb.NewBlockCache(tsdb.DefaultBlockCacheBytes))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var sum, n int64
+			cur := rd.CursorParallel(context.Background(), wmap.Europe, time.Time{}, time.Time{}, runtime.GOMAXPROCS(0))
+			for cur.Next() {
+				foldLoads(cur.MapView(), &sum, &n)
+			}
+			cur.Close()
+			if err := cur.Err(); err != nil || n != int64(f.snapshots) {
+				b.Fatalf("parallel cursor: %d snapshots, err %v", n, err)
 			}
 		}
 	})

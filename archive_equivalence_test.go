@@ -171,6 +171,25 @@ func TestArchiveEquivalence(t *testing.T) {
 		}
 		return cur.Err()
 	}
+	// The serving-path variant: parallel read-ahead decode over a shared
+	// decoded-block cache, yielding the allocation-free scratch view. Must
+	// be indistinguishable from the sequential cursor — same snapshots,
+	// same order, byte-identical analyses.
+	cachedRd, err := tsdb.NewReader(bytes.NewReader(bufA.Bytes()), int64(bufA.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedRd.SetBlockCache(tsdb.NewBlockCache(tsdb.DefaultBlockCacheBytes))
+	tsdbParallelStream := func(yield func(*wmap.Map) error) error {
+		cur := cachedRd.CursorParallel(context.Background(), wmap.Europe, time.Time{}, time.Time{}, 4)
+		defer cur.Close()
+		for cur.Next() {
+			if err := yield(cur.MapView()); err != nil {
+				return err
+			}
+		}
+		return cur.Err()
+	}
 	renderAnalyses := func(stream analysis.Stream) string {
 		var sb strings.Builder
 		loads, err := analysis.LoadCDF(stream)
@@ -190,8 +209,19 @@ func TestArchiveEquivalence(t *testing.T) {
 		analysis.WriteInfraSeries(&sb, infra, time.Hour)
 		return sb.String()
 	}
-	if got, want := renderAnalyses(tsdbStream), renderAnalyses(yamlStream); got != want {
+	want := renderAnalyses(yamlStream)
+	if got := renderAnalyses(tsdbStream); got != want {
 		t.Errorf("analysis output diverges between tsdb and YAML paths:\n--- tsdb ---\n%s\n--- yaml ---\n%s", got, want)
+	}
+	// Twice through the parallel cached stream: the first pass fills the
+	// cache, the second serves from it — both must render identically.
+	for pass := 1; pass <= 2; pass++ {
+		if got := renderAnalyses(tsdbParallelStream); got != want {
+			t.Errorf("parallel cached cursor (pass %d) diverges from the YAML analyses:\n--- parallel ---\n%s\n--- yaml ---\n%s", pass, got, want)
+		}
+	}
+	if s := cachedRd.BlockCache().Stats(); s.Hits == 0 {
+		t.Errorf("second parallel pass recorded no cache hits: %+v", s)
 	}
 
 	// Size: the columnar archive must be at least 5x smaller than the YAML

@@ -49,13 +49,14 @@ import (
 
 // config carries the parsed flags into run.
 type config struct {
-	dir     string
-	archive string
-	useSim  bool
-	mapStr  string
-	figures string
-	workers int
-	simStep time.Duration
+	dir        string
+	archive    string
+	useSim     bool
+	mapStr     string
+	figures    string
+	workers    int
+	simStep    time.Duration
+	cacheBytes int64
 }
 
 func main() {
@@ -71,8 +72,9 @@ func main() {
 	flag.BoolVar(&cfg.useSim, "sim", false, "analyze the simulator directly instead of a dataset")
 	flag.StringVar(&cfg.mapStr, "map", "europe", "map analyzed in Figures 4-6")
 	flag.StringVar(&cfg.figures, "figures", "all", "comma-separated subset: 1,2,3,4,5,6 or all")
-	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "YAML-decoding worker-pool size (1 = sequential)")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "YAML-decoding worker-pool size (1 = sequential); also the -archive block-decode pipeline width")
 	flag.DurationVar(&cfg.simStep, "sim-step", 6*time.Hour, "sampling step in -sim mode")
+	flag.Int64Var(&cfg.cacheBytes, "block-cache", tsdb.DefaultBlockCacheBytes, "decoded-block cache budget in bytes for -archive reads (0 disables)")
 	flag.StringVar(&profiles.CPU, "cpuprofile", "", "write a pprof CPU profile to `file`")
 	flag.StringVar(&profiles.Mem, "memprofile", "", "write a pprof heap profile to `file`")
 	flag.Parse()
@@ -128,6 +130,10 @@ func run(cfg config) error {
 			return err
 		}
 		defer rd.Close()
+		// The analyses re-stream the same blocks under several lenses
+		// (Figures 4-6 each fold the corpus); the cache makes every pass
+		// after the first decode-free.
+		rd.SetBlockCache(tsdb.NewBlockCache(cfg.cacheBytes))
 	}
 	sc := netsim.DefaultScenario()
 	var sim *netsim.Simulator
@@ -162,13 +168,18 @@ func run(cfg config) error {
 		if rd != nil {
 			return func(yield func(*wmap.Map) error) error {
 				// The footer index seeks straight to the overlapping blocks;
-				// snapshots outside [from, to] are never decoded.
-				cur := rd.Cursor(id, from, to)
+				// snapshots outside [from, to] are never decoded. The
+				// parallel cursor keeps the next blocks decoding on the
+				// worker pool while this goroutine folds the current one.
+				cur := rd.CursorParallel(ctx, id, from, to, cfg.workers)
+				defer cur.Close()
 				for cur.Next() {
 					if err := ctx.Err(); err != nil {
 						return err
 					}
-					if err := yield(cur.Map()); err != nil {
+					// The analyses fold each snapshot and move on, so the
+					// allocation-free scratch view is safe here.
+					if err := yield(cur.MapView()); err != nil {
 						return err
 					}
 				}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	wmserve [-addr :8080] [-start RFC3339] [-step 5m] [-tick 1s]
-//	        [-archive FILE]
+//	        [-archive FILE] [-block-cache BYTES]
 //
 // Every -tick of wall-clock time advances the simulation by -step, exactly
 // like the real site's five-minute refresh, so a collector pointed at
@@ -19,6 +19,12 @@
 //	GET /api/v1/topology?map=&at=
 //	GET /api/v1/links/{id}/load?from=&to=&step=
 //	GET /api/v1/imbalance?map=&at=
+//	GET /api/v1/stats
+//
+// Archive queries serve decoded blocks from a sharded in-process LRU sized
+// by -block-cache (default 64 MiB, 0 disables); cache hit/miss/eviction
+// counters are visible on /api/v1/stats and, with the rest of the
+// process's expvar state, on /debug/vars.
 //
 // SIGINT or SIGTERM shuts the server down gracefully: in-flight requests
 // drain (bounded by a timeout), the virtual clock stops, and the process
@@ -29,6 +35,7 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -66,16 +73,54 @@ func main() {
 		step     = flag.Duration("step", 5*time.Minute, "virtual time per tick")
 		tick     = flag.Duration("tick", time.Second, "wall-clock tick interval")
 		archive  = flag.String("archive", "", "serve the tsdb archive query API from `file` under /api/v1/")
+		cacheB   = flag.Int64("block-cache", tsdb.DefaultBlockCacheBytes, "decoded-block cache budget in `bytes` for archive queries (0 disables)")
 	)
 	flag.Parse()
 	start, err := time.Parse(time.RFC3339, *startStr)
 	if err != nil {
 		log.Fatalf("bad -start: %v", err)
 	}
-	os.Exit(run(*addr, *archive, start, *step, *tick))
+	os.Exit(run(*addr, *archive, *cacheB, start, *step, *tick))
 }
 
-func run(addr, archive string, start time.Time, step, tick time.Duration) int {
+// newHandler assembles the site handler, mounting the archive query API,
+// the stats-bearing expvar page, and the block cache when an archive
+// reader is present.
+func newHandler(site http.Handler, rd *tsdb.Reader, cacheBytes int64) http.Handler {
+	if rd == nil {
+		return site
+	}
+	cache := tsdb.NewBlockCache(cacheBytes)
+	rd.SetBlockCache(cache)
+	publishCacheStats(cache)
+	mux := http.NewServeMux()
+	mux.Handle("/api/v1/", tsdb.NewAPIHandler(rd))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/", site)
+	return mux
+}
+
+// publishCacheStats exposes the block cache's counters as the
+// tsdb_block_cache expvar. Publish panics on duplicate names, so re-entry
+// (tests call newHandler repeatedly) rebinds through a stable Func that
+// reads the latest cache.
+var cacheVar struct {
+	cache *tsdb.BlockCache
+	once  bool
+}
+
+func publishCacheStats(c *tsdb.BlockCache) {
+	cacheVar.cache = c
+	if cacheVar.once {
+		return
+	}
+	cacheVar.once = true
+	expvar.Publish("tsdb_block_cache", expvar.Func(func() any {
+		return cacheVar.cache.Stats()
+	}))
+}
+
+func run(addr, archive string, cacheBytes int64, start time.Time, step, tick time.Duration) int {
 	sim, err := netsim.New(netsim.DefaultScenario())
 	if err != nil {
 		log.Print(err)
@@ -88,19 +133,16 @@ func run(addr, archive string, start time.Time, step, tick time.Duration) int {
 		return 1
 	}
 
-	handler := http.Handler(site)
+	var rd *tsdb.Reader
 	if archive != "" {
-		rd, err := tsdb.OpenFile(archive)
-		if err != nil {
+		var err error
+		if rd, err = tsdb.OpenFile(archive); err != nil {
 			log.Print(err)
 			return 1
 		}
 		defer rd.Close()
-		mux := http.NewServeMux()
-		mux.Handle("/api/v1/", tsdb.NewAPIHandler(rd))
-		mux.Handle("/", site)
-		handler = mux
 	}
+	handler := newHandler(site, rd, cacheBytes)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -128,6 +170,8 @@ func run(addr, archive string, start time.Time, step, tick time.Duration) int {
 	log.Printf("     curl http://%s/status.json", display)
 	if archive != "" {
 		log.Printf("     curl http://%s/api/v1/maps", display)
+		log.Printf("     curl http://%s/api/v1/stats   (block-cache counters; also expvar on /debug/vars)", display)
+		log.Printf("archive block cache: %d MiB budget", cacheBytes>>20)
 	}
 
 	code := 0

@@ -5,11 +5,15 @@ import (
 	"errors"
 	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
 	"ovhweather/internal/collect"
+	"ovhweather/internal/tsdb"
 	"ovhweather/internal/wmap"
 )
 
@@ -35,6 +39,64 @@ func TestRunClockFailureCap(t *testing.T) {
 	}
 	if ctx.Err() != nil {
 		t.Fatalf("runClock did not hit the cap within the test timeout: %v", err)
+	}
+}
+
+// TestNewHandlerMountsArchiveAPI builds a tiny archive and checks the
+// handler wiring: the query API, the stats endpoint, and expvar all
+// respond, and the block cache is attached to the reader (repeat topology
+// serves record hits).
+func TestNewHandlerMountsArchiveAPI(t *testing.T) {
+	path := t.TempDir() + "/a.tsdb"
+	w, err := tsdb.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &wmap.Map{
+		ID:    wmap.Europe,
+		Time:  time.Date(2020, 7, 1, 0, 0, 0, 0, time.UTC),
+		Nodes: []wmap.Node{{Name: "par-g1", Kind: wmap.Router}, {Name: "fra-g1", Kind: wmap.Router}},
+		Links: []wmap.Link{{A: "par-g1", B: "fra-g1", LabelA: "#1", LabelB: "#1", LoadAB: 10, LoadBA: 20}},
+	}
+	if err := w.Append(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := tsdb.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+
+	h := newHandler(http.NotFoundHandler(), rd, 1<<20)
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		return rec
+	}
+	for _, url := range []string{"/api/v1/maps", "/api/v1/stats", "/debug/vars"} {
+		if rec := get(url); rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d (%s)", url, rec.Code, rec.Body)
+		}
+	}
+	get("/api/v1/topology?map=europe")
+	get("/api/v1/topology?map=europe")
+	if s := rd.BlockCache().Stats(); s.Hits == 0 {
+		t.Errorf("cache not wired: stats %+v after repeated topology serves", s)
+	}
+	if body := get("/debug/vars").Body.String(); !strings.Contains(body, "tsdb_block_cache") {
+		t.Error("expvar page lacks tsdb_block_cache")
+	}
+
+	// Without an archive the site handler serves unchanged.
+	plain := newHandler(http.NotFoundHandler(), nil, 1<<20)
+	if rec := httptest.NewRecorder(); true {
+		plain.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/maps", nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("archiveless /api/v1/maps = %d, want the site's 404", rec.Code)
+		}
 	}
 }
 

@@ -29,14 +29,29 @@ func (ts *TimeSeries) Append(t time.Time, v float64) {
 	ts.sorted = false
 }
 
+// Grow reserves capacity for n further points, so a producer that knows
+// the series length avoids the append doubling dance.
+func (ts *TimeSeries) Grow(n int) {
+	if free := cap(ts.points) - len(ts.points); free < n {
+		grown := make([]TimePoint, len(ts.points), len(ts.points)+n)
+		copy(grown, ts.points)
+		ts.points = grown
+	}
+}
+
 // Len returns the number of points.
 func (ts *TimeSeries) Len() int { return len(ts.points) }
 
 func (ts *TimeSeries) ensureSorted() {
-	if !ts.sorted {
-		sort.Slice(ts.points, func(i, j int) bool { return ts.points[i].T.Before(ts.points[j].T) })
-		ts.sorted = true
+	if ts.sorted {
+		return
 	}
+	// Producers overwhelmingly append in time order; a linear check is far
+	// cheaper than re-sorting sorted data.
+	if !sort.SliceIsSorted(ts.points, func(i, j int) bool { return ts.points[i].T.Before(ts.points[j].T) }) {
+		sort.Slice(ts.points, func(i, j int) bool { return ts.points[i].T.Before(ts.points[j].T) })
+	}
+	ts.sorted = true
 }
 
 // Points returns the points in chronological order. The slice is owned by

@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -8,9 +9,10 @@ import (
 )
 
 // Cursor iterates one map's snapshots over [from, to] in chronological
-// order, decoding one block at a time:
+// order:
 //
 //	cur := r.Cursor(id, from, to)
+//	defer cur.Close()
 //	for cur.Next() {
 //		m := cur.Map()
 //		...
@@ -19,7 +21,17 @@ import (
 //
 // Zero from/to mean unbounded; both ends are inclusive, matching the
 // dataset walk's from/to filter. Each Map() is freshly materialized and may
-// be retained by the caller.
+// be retained by the caller; MapView() instead reuses cursor-owned scratch
+// for allocation-free folds.
+//
+// A plain Cursor decodes blocks one at a time on the calling goroutine.
+// CursorContext and CursorParallel instead decode on the read-ahead
+// pipeline — a bounded worker pool keeps the next few blocks decoding
+// while the consumer folds the current one — and stop when the context is
+// cancelled. Both paths yield byte-identical snapshots in the same order.
+// Close releases the pipeline early; iterating to completion (Next
+// returning false) closes implicitly, so Close only matters for abandoned
+// iterations.
 type Cursor struct {
 	r          *Reader
 	ids        []int // overlapping block indexes, chronological
@@ -27,12 +39,21 @@ type Cursor struct {
 	bi         int
 	db         *decodedBlock
 	pi         int
-	m          *wmap.Map
+	vdb        *decodedBlock // block and point Next advanced to;
+	vpi        int           // materialized lazily by Map or MapView
+	scratch    *wmap.Map
 	err        error
+
+	// pipeline state; nil ctx means sequential mode
+	ctx     context.Context
+	cancel  context.CancelFunc
+	out     <-chan fetchResult
+	workers int
+	done    bool
 }
 
-// Cursor positions a new cursor; the block seek is O(log n) in the map's
-// block count.
+// Cursor positions a new sequential cursor; the block seek is O(log n) in
+// the map's block count.
 func (r *Reader) Cursor(id wmap.MapID, from, to time.Time) *Cursor {
 	fromU, toU := rangeBounds(from, to)
 	return &Cursor{
@@ -43,43 +64,123 @@ func (r *Reader) Cursor(id wmap.MapID, from, to time.Time) *Cursor {
 	}
 }
 
+// CursorContext positions a cursor that decodes blocks on the read-ahead
+// pipeline with one worker per core and stops when ctx is cancelled
+// (Err() then returns ctx.Err()).
+func (r *Reader) CursorContext(ctx context.Context, id wmap.MapID, from, to time.Time) *Cursor {
+	return r.CursorParallel(ctx, id, from, to, defaultReadAheadWorkers())
+}
+
+// CursorParallel is CursorContext with an explicit decode worker count;
+// workers <= 1 still runs the pipeline (one decoder overlapping the
+// consumer) unless the range spans a single block, which decodes inline.
+func (r *Reader) CursorParallel(ctx context.Context, id wmap.MapID, from, to time.Time, workers int) *Cursor {
+	c := r.Cursor(id, from, to)
+	if workers < 1 {
+		workers = 1
+	}
+	if len(c.ids) > 1 {
+		c.ctx = ctx
+		c.workers = workers
+	}
+	return c
+}
+
+// nextBlock produces the next decoded block, from the pipeline in parallel
+// mode or inline otherwise. ok is false at the end of the range or on
+// error (recorded in c.err).
+func (c *Cursor) nextBlock() (ok bool) {
+	if c.ctx != nil {
+		if c.out == nil {
+			ctx, cancel := context.WithCancel(c.ctx)
+			c.cancel = cancel
+			c.out = c.r.startReadAhead(ctx, c.ids, func(int) int { return allColumns }, c.workers)
+		}
+		res, open := <-c.out
+		if !open {
+			// Closed without a result: either the range is exhausted or the
+			// context was cancelled mid-stream.
+			c.err = c.ctx.Err()
+			return false
+		}
+		if res.err != nil {
+			c.err = res.err
+			return false
+		}
+		c.db = res.db
+		return true
+	}
+	if c.bi >= len(c.ids) {
+		return false
+	}
+	db, err := c.r.block(c.ids[c.bi], allColumns)
+	if err != nil {
+		c.err = err
+		return false
+	}
+	c.bi++
+	c.db = db
+	return true
+}
+
 // Next advances to the next snapshot, reporting false at the end of the
 // range or on error.
 func (c *Cursor) Next() bool {
-	if c.err != nil {
+	if c.err != nil || c.done {
 		return false
 	}
 	for {
 		if c.db == nil {
-			if c.bi >= len(c.ids) {
+			if !c.nextBlock() {
+				c.Close()
 				return false
 			}
-			db, err := c.r.decodeBlock(c.ids[c.bi], nil)
-			if err != nil {
-				c.err = err
-				return false
-			}
-			c.db = db
-			c.pi = sort.Search(len(db.times), func(i int) bool { return db.times[i] >= c.fromU })
+			c.pi = sort.Search(len(c.db.times), func(i int) bool { return c.db.times[i] >= c.fromU })
 		}
 		if c.pi >= len(c.db.times) {
 			c.db = nil
-			c.bi++
 			continue
 		}
 		if c.db.times[c.pi] > c.toU {
 			// Later blocks are later still: the range is exhausted.
-			c.bi = len(c.ids)
+			c.Close()
 			return false
 		}
-		c.m = c.r.materialize(c.db, c.pi)
+		c.vdb, c.vpi = c.db, c.pi
 		c.pi++
 		return true
 	}
 }
 
-// Map returns the snapshot Next advanced to.
-func (c *Cursor) Map() *wmap.Map { return c.m }
+// Close stops the cursor, cancelling the read-ahead pipeline so its
+// workers exit. Safe to call multiple times and after Next returned
+// false; required only when abandoning a parallel cursor mid-iteration.
+func (c *Cursor) Close() {
+	c.done = true
+	c.db = nil
+	if c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+}
 
-// Err returns the first decoding error the iteration hit, if any.
+// Map returns the snapshot Next advanced to, freshly materialized: the
+// caller owns it and may retain or mutate it.
+func (c *Cursor) Map() *wmap.Map { return c.r.materialize(c.vdb, c.vpi) }
+
+// MapView returns the snapshot Next advanced to, backed by cursor-owned
+// scratch storage: zero steady-state allocations, built for full-corpus
+// folds that read each snapshot and move on. The returned map (and its
+// Nodes/Links slices) is only valid until the next call to Next or
+// MapView and must not be mutated or retained — use Map for an owned copy.
+func (c *Cursor) MapView() *wmap.Map {
+	if c.scratch == nil {
+		c.scratch = &wmap.Map{}
+	}
+	c.r.materializeInto(c.vdb, c.vpi, c.scratch)
+	return c.scratch
+}
+
+// Err returns the first error the iteration hit — a decode failure, or the
+// context's error when a parallel cursor was cancelled.
 func (c *Cursor) Err() error { return c.err }

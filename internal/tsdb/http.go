@@ -1,10 +1,16 @@
 package tsdb
 
 import (
+	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"log"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"ovhweather/internal/stats"
@@ -17,38 +23,119 @@ import (
 //	GET /api/v1/topology?map=&at=            — snapshot topology with link ids
 //	GET /api/v1/links/{id}/load?from=&to=&step= — per-direction load series
 //	GET /api/v1/imbalance?map=&at=           — parallel-link imbalance sets
+//	GET /api/v1/stats                        — archive and block-cache counters
 //
 // Times are RFC3339; at defaults to the map's last snapshot, from/to to the
 // archive bounds. step resamples the series into fixed averaged windows via
 // stats.TimeSeries.Resample. Link ids come from the topology endpoint and
 // stay stable across snapshots (LinkKey.ID).
+//
+// The archive is immutable for the life of the handler, so every data
+// endpoint carries an ETag derived from the archive fingerprint and the
+// resolved query, honors If-None-Match with 304, and sets Cache-Control —
+// explicit historical queries are marked immutable so proxies stop
+// re-fetching history. The hot endpoints (load series, imbalance) encode
+// into pooled buffers instead of a per-request json.Encoder and send
+// Content-Length.
+
+// DefaultMaxResponsePoints caps the raw series points one load response
+// may carry; ranges that would exceed it are rejected with a hint to
+// resample via step.
+const DefaultMaxResponsePoints = 100_000
+
+// statusClientClosedRequest is the nginx-convention status reported when
+// the client's context is cancelled mid-query; nothing usually sees it,
+// but tests and access logs do.
+const statusClientClosedRequest = 499
 
 // NewAPIHandler serves the query API over rd. The handler is safe for
-// concurrent use and holds no mutable state.
+// concurrent use and holds no mutable state beyond the reader's
+// decoded-block cache, which is itself concurrency-safe.
 func NewAPIHandler(rd *Reader) http.Handler {
-	a := &api{rd: rd}
+	a := &api{rd: rd, maxPoints: DefaultMaxResponsePoints}
+	return a.routes()
+}
+
+type api struct {
+	rd        *Reader
+	maxPoints int
+}
+
+func (a *api) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/maps", a.handleMaps)
 	mux.HandleFunc("GET /api/v1/topology", a.handleTopology)
 	mux.HandleFunc("GET /api/v1/links/{id}/load", a.handleLinkLoad)
 	mux.HandleFunc("GET /api/v1/imbalance", a.handleImbalance)
+	mux.HandleFunc("GET /api/v1/stats", a.handleStats)
 	return mux
 }
 
-type api struct {
-	rd *Reader
+// writeBody sends a fully built JSON body with its exact Content-Length.
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	w.Write(body) // a failed write means the client is gone; nothing to do
 }
 
+// writeJSON marshals v into a buffer first, so an encoding failure can
+// still produce a 500 instead of a half-written 200, and logs the failure
+// rather than swallowing it.
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Printf("tsdb: api: encoding response: %v", err)
+		writeBody(w, http.StatusInternalServerError, []byte(`{"error":"response encoding failed"}`))
+		return
+	}
+	writeBody(w, code, append(body, '\n'))
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// etag derives the entity tag for a response: the archive fingerprint
+// (which covers every byte of data) mixed with the resolved query, so two
+// requests that would serve the same bytes share a tag.
+func (a *api) etag(parts ...string) string {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], a.rd.Fingerprint())
+	h.Write(b[:])
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return `"wm` + strconv.FormatUint(h.Sum64(), 16) + `"`
+}
+
+// serveCached sets the conditional-GET headers and answers 304 when the
+// client already holds the entity. pinned marks queries whose every
+// parameter is explicit — those select immutable history and may be cached
+// hard; default-parameter queries track "latest" and must revalidate.
+func serveCached(w http.ResponseWriter, r *http.Request, etag string, pinned bool) bool {
+	h := w.Header()
+	h.Set("ETag", etag)
+	if pinned {
+		h.Set("Cache-Control", "public, max-age=86400, immutable")
+	} else {
+		h.Set("Cache-Control", "public, max-age=60, must-revalidate")
+	}
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	for _, tag := range strings.Split(inm, ",") {
+		tag = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(tag), "W/"))
+		if tag == etag || tag == "*" {
+			w.WriteHeader(http.StatusNotModified)
+			return true
+		}
+	}
+	return false
 }
 
 // queryMap resolves the required map parameter against the archive.
@@ -70,18 +157,19 @@ func (a *api) queryMap(w http.ResponseWriter, r *http.Request) (wmap.MapID, bool
 	return id, true
 }
 
-// queryTime parses an optional RFC3339 parameter, with a fallback.
-func queryTime(w http.ResponseWriter, r *http.Request, name string, fallback time.Time) (time.Time, bool) {
+// queryTime parses an optional RFC3339 parameter, with a fallback. given
+// reports whether the parameter was present — pinned-history detection.
+func queryTime(w http.ResponseWriter, r *http.Request, name string, fallback time.Time) (t time.Time, given, ok bool) {
 	s := r.URL.Query().Get(name)
 	if s == "" {
-		return fallback, true
+		return fallback, false, true
 	}
 	t, err := time.Parse(time.RFC3339, s)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad %s: %v", name, err)
-		return time.Time{}, false
+		return time.Time{}, true, false
 	}
-	return t, true
+	return t, true, true
 }
 
 type mapInfo struct {
@@ -93,6 +181,9 @@ type mapInfo struct {
 }
 
 func (a *api) handleMaps(w http.ResponseWriter, r *http.Request) {
+	if serveCached(w, r, a.etag("maps"), false) {
+		return
+	}
 	out := make([]mapInfo, 0, len(a.rd.Maps()))
 	for _, id := range a.rd.Maps() {
 		from, to, _ := a.rd.Bounds(id)
@@ -125,8 +216,11 @@ func (a *api) handleTopology(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_, last, _ := a.rd.Bounds(id)
-	at, ok := queryTime(w, r, "at", last)
+	at, atGiven, ok := queryTime(w, r, "at", last)
 	if !ok {
+		return
+	}
+	if serveCached(w, r, a.etag("topology", string(id), at.UTC().Format(time.RFC3339Nano)), atGiven) {
 		return
 	}
 	m, err := a.rd.SnapshotAt(id, at)
@@ -156,18 +250,22 @@ func (a *api) handleTopology(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-type seriesPoint struct {
-	T time.Time `json:"t"`
-	V float64   `json:"v"`
-}
-
-func seriesPoints(ts *stats.TimeSeries) []seriesPoint {
-	pts := ts.Points()
-	out := make([]seriesPoint, 0, len(pts))
-	for _, p := range pts {
-		out = append(out, seriesPoint{T: p.T, V: p.V})
+// appendSeries appends a series as [{"t":...,"v":...},...]. A timeEncoder
+// carries the formatted date across points, which sit minutes apart.
+func appendSeries(b []byte, ts *stats.TimeSeries) []byte {
+	b = append(b, '[')
+	var enc timeEncoder
+	for i, p := range ts.Points() {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"t":`...)
+		b = enc.append(b, p.T)
+		b = append(b, `,"v":`...)
+		b = appendJSONFloat(b, p.V)
+		b = append(b, '}')
 	}
-	return out
+	return append(b, ']')
 }
 
 func (a *api) handleLinkLoad(w http.ResponseWriter, r *http.Request) {
@@ -178,11 +276,11 @@ func (a *api) handleLinkLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	bFrom, bTo, _ := a.rd.Bounds(id)
-	from, ok := queryTime(w, r, "from", bFrom)
+	from, fromGiven, ok := queryTime(w, r, "from", bFrom)
 	if !ok {
 		return
 	}
-	to, ok := queryTime(w, r, "to", bTo)
+	to, toGiven, ok := queryTime(w, r, "to", bTo)
 	if !ok {
 		return
 	}
@@ -194,33 +292,128 @@ func (a *api) handleLinkLoad(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ab, ba, err := a.rd.LinkSeries(id, key, from, to)
-	if err != nil {
-		code := http.StatusInternalServerError
-		if errors.Is(err, ErrUnknownLink) || errors.Is(err, ErrUnknownMap) {
-			code = http.StatusNotFound
-		}
-		writeError(w, code, "%v", err)
+	etag := a.etag("load", linkID,
+		from.UTC().Format(time.RFC3339Nano), to.UTC().Format(time.RFC3339Nano), step.String())
+	if serveCached(w, r, etag, fromGiven && toGiven) {
 		return
 	}
-	if step > 0 {
-		ab, ba = ab.Resample(step), ba.Resample(step)
+	if step <= 0 {
+		// Two directed points per snapshot; the index bound costs no decode.
+		if raw := 2 * a.rd.rangePointCount(id, from, to); raw > a.maxPoints {
+			writeError(w, http.StatusBadRequest,
+				"range holds ~%d raw points, over the %d-point response cap; resample with step (e.g. step=1h)",
+				raw, a.maxPoints)
+			return
+		}
+		a.serveRawLoad(w, r, linkID, id, key, from, to, step)
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"id": linkID, "map": id,
-		"a": key.A, "b": key.B, "label_a": key.LabelA, "label_b": key.LabelB,
-		"ordinal": key.Ordinal,
-		"from":    from, "to": to, "step": step.String(),
-		"ab": seriesPoints(ab), "ba": seriesPoints(ba),
-	})
+	ab, ba, err := a.rd.LinkSeriesContext(r.Context(), id, key, from, to)
+	if err != nil {
+		a.writeLoadError(w, err)
+		return
+	}
+	ab, ba = ab.Resample(step), ba.Resample(step)
+
+	bp := getEncBuf()
+	b := appendLoadMeta(*bp, linkID, id, key, from, to, step)
+	b = append(b, `,"ab":`...)
+	b = appendSeries(b, ab)
+	b = append(b, `,"ba":`...)
+	b = appendSeries(b, ba)
+	b = append(b, '}', '\n')
+	writeBody(w, http.StatusOK, b)
+	*bp = b
+	putEncBuf(bp)
 }
 
-type imbalanceRow struct {
-	From     string `json:"from"`
-	To       string `json:"to"`
-	Internal bool   `json:"internal"`
-	Spread   int    `json:"spread"`
-	Links    int    `json:"links"`
+// serveRawLoad streams an unresampled series straight from the decoded
+// column slices: each block callback appends the ab points to the response
+// buffer and the ba points to a second pooled buffer spliced in at the
+// end, so a raw response never materializes a TimeSeries — on a hot cache
+// the whole request is two buffer fills over cached arrays.
+func (a *api) serveRawLoad(w http.ResponseWriter, r *http.Request, linkID string, id wmap.MapID, key LinkKey, from, to time.Time, step time.Duration) {
+	bp, bbp := getEncBuf(), getEncBuf()
+	defer putEncBuf(bp)
+	defer putEncBuf(bbp)
+	b := appendLoadMeta(*bp, linkID, id, key, from, to, step)
+	b = append(b, `,"ab":[`...)
+	bb := *bbp
+
+	// Raw load values are integers, so strconv.AppendInt writes the same
+	// bytes appendJSONFloat would (its integer fast path).
+	var encAB, encBA timeEncoder
+	first := true
+	err := a.rd.LinkColumnsContext(r.Context(), id, key, from, to,
+		func(times []int64, abCol, baCol []wmap.Load) error {
+			for k, sec := range times {
+				if !first {
+					b = append(b, ',')
+					bb = append(bb, ',')
+				}
+				first = false
+				b = append(b, `{"t":`...)
+				b = encAB.appendUnix(b, sec)
+				b = append(b, `,"v":`...)
+				b = strconv.AppendInt(b, int64(abCol[k]), 10)
+				b = append(b, '}')
+				bb = append(bb, `{"t":`...)
+				bb = encBA.appendUnix(bb, sec)
+				bb = append(bb, `,"v":`...)
+				bb = strconv.AppendInt(bb, int64(baCol[k]), 10)
+				bb = append(bb, '}')
+			}
+			return nil
+		})
+	*bp, *bbp = b, bb
+	if err != nil {
+		a.writeLoadError(w, err)
+		return
+	}
+	b = append(b, `],"ba":[`...)
+	b = append(b, bb...)
+	b = append(b, ']', '}', '\n')
+	writeBody(w, http.StatusOK, b)
+	*bp = b
+}
+
+// writeLoadError maps a series-read failure onto the response: cancelled
+// clients get the nginx-convention 499, unknown ids 404, the rest 500.
+func (a *api) writeLoadError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		w.WriteHeader(statusClientClosedRequest)
+		return
+	}
+	code := http.StatusInternalServerError
+	if errors.Is(err, ErrUnknownLink) || errors.Is(err, ErrUnknownMap) {
+		code = http.StatusNotFound
+	}
+	writeError(w, code, "%v", err)
+}
+
+// appendLoadMeta appends the response prefix shared by the raw and
+// resampled load paths: the open brace through the "step" field.
+func appendLoadMeta(b []byte, linkID string, id wmap.MapID, key LinkKey, from, to time.Time, step time.Duration) []byte {
+	b = append(b, `{"id":`...)
+	b = appendJSONString(b, linkID)
+	b = append(b, `,"map":`...)
+	b = appendJSONString(b, string(id))
+	b = append(b, `,"a":`...)
+	b = appendJSONString(b, key.A)
+	b = append(b, `,"b":`...)
+	b = appendJSONString(b, key.B)
+	b = append(b, `,"label_a":`...)
+	b = appendJSONString(b, key.LabelA)
+	b = append(b, `,"label_b":`...)
+	b = appendJSONString(b, key.LabelB)
+	b = append(b, `,"ordinal":`...)
+	b = strconv.AppendInt(b, int64(key.Ordinal), 10)
+	b = append(b, `,"from":`...)
+	b = appendJSONTime(b, from)
+	b = append(b, `,"to":`...)
+	b = appendJSONTime(b, to)
+	b = append(b, `,"step":`...)
+	return appendJSONString(b, step.String())
 }
 
 func (a *api) handleImbalance(w http.ResponseWriter, r *http.Request) {
@@ -229,8 +422,15 @@ func (a *api) handleImbalance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_, last, _ := a.rd.Bounds(id)
-	at, ok := queryTime(w, r, "at", last)
+	at, atGiven, ok := queryTime(w, r, "at", last)
 	if !ok {
+		return
+	}
+	if serveCached(w, r, a.etag("imbalance", string(id), at.UTC().Format(time.RFC3339Nano)), atGiven) {
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		w.WriteHeader(statusClientClosedRequest)
 		return
 	}
 	m, err := a.rd.SnapshotAt(id, at)
@@ -243,14 +443,51 @@ func (a *api) handleImbalance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	imbs := m.Imbalances(wmap.PaperImbalanceOptions())
-	rows := make([]imbalanceRow, 0, len(imbs))
-	for _, im := range imbs {
-		rows = append(rows, imbalanceRow{
-			From: im.From, To: im.To, Internal: im.Internal,
-			Spread: im.Spread, Links: im.Links,
-		})
+
+	bp := getEncBuf()
+	b := *bp
+	b = append(b, `{"map":`...)
+	b = appendJSONString(b, string(id))
+	b = append(b, `,"time":`...)
+	b = appendJSONTime(b, m.Time)
+	b = append(b, `,"imbalances":[`...)
+	for i, im := range imbs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"from":`...)
+		b = appendJSONString(b, im.From)
+		b = append(b, `,"to":`...)
+		b = appendJSONString(b, im.To)
+		b = append(b, `,"internal":`...)
+		b = strconv.AppendBool(b, im.Internal)
+		b = append(b, `,"spread":`...)
+		b = strconv.AppendInt(b, int64(im.Spread), 10)
+		b = append(b, `,"links":`...)
+		b = strconv.AppendInt(b, int64(im.Links), 10)
+		b = append(b, '}')
 	}
+	b = append(b, ']', '}', '\n')
+	writeBody(w, http.StatusOK, b)
+	*bp = b
+	putEncBuf(bp)
+}
+
+func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
+	s := a.rd.Stats()
+	cs := a.rd.BlockCache().Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"map": id, "time": m.Time, "imbalances": rows,
+		"archive": map[string]any{
+			"fingerprint": strconv.FormatUint(a.rd.Fingerprint(), 16),
+			"blocks":      s.Blocks,
+			"snapshots":   s.Snapshots,
+			"topologies":  s.Topologies,
+			"strings":     s.Strings,
+			"bytes":       s.Bytes,
+		},
+		"block_cache": map[string]any{
+			"enabled": a.rd.BlockCache() != nil,
+			"stats":   cs,
+		},
 	})
 }

@@ -1,9 +1,14 @@
 package tsdb
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -143,6 +148,213 @@ func TestAPIImbalance(t *testing.T) {
 	}
 	getJSON(t, h, "/api/v1/imbalance?map=world&at=1999-01-01T00:00:00Z", http.StatusNotFound)
 	getJSON(t, h, "/api/v1/imbalance", http.StatusBadRequest)
+}
+
+// TestAPIConditionalGet exercises the ETag protocol: a 200 carries a tag
+// and Content-Length, replaying the tag yields a bodyless 304, a different
+// query yields a different tag, and pinned history is marked immutable.
+func TestAPIConditionalGet(t *testing.T) {
+	h, sample := apiFixture(t)
+	id := LinkKeysOf(sample)[0].ID(wmap.Europe)
+	url := "/api/v1/links/" + id + "/load"
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s = %d (%s)", url, rec.Code, rec.Body)
+	}
+	etag := rec.Header().Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("ETag = %q, want a quoted tag", etag)
+	}
+	if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(rec.Body.Len()) {
+		t.Errorf("Content-Length = %q, body is %d bytes", cl, rec.Body.Len())
+	}
+	if cc := rec.Header().Get("Cache-Control"); !strings.Contains(cc, "max-age") {
+		t.Errorf("Cache-Control = %q", cc)
+	}
+
+	// Replay with If-None-Match: 304, empty body, same tag.
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", etag)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified || rec.Body.Len() != 0 {
+		t.Errorf("If-None-Match replay = %d with %d body bytes, want 304 empty", rec.Code, rec.Body.Len())
+	}
+
+	// A stale or foreign tag still serves the entity.
+	req = httptest.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", `"stale"`)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("stale tag = %d, want 200", rec.Code)
+	}
+
+	// A different query must not share the tag.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url+"?step=10m", nil))
+	if tag2 := rec.Header().Get("ETag"); tag2 == etag {
+		t.Errorf("step query reused tag %q", tag2)
+	}
+
+	// Fully pinned history is immutable; default windows must revalidate.
+	pinned := url + "?from=" + at(0).Format(time.RFC3339) + "&to=" + at(15).Format(time.RFC3339)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, pinned, nil))
+	if cc := rec.Header().Get("Cache-Control"); !strings.Contains(cc, "immutable") {
+		t.Errorf("pinned-history Cache-Control = %q, want immutable", cc)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if cc := rec.Header().Get("Cache-Control"); strings.Contains(cc, "immutable") {
+		t.Errorf("default-window Cache-Control = %q, must not be immutable", cc)
+	}
+}
+
+// TestAPILinkLoadPointCap drops the response cap to 10 points and checks
+// the oversized raw query is rejected with a step hint while the
+// resampled equivalent passes.
+func TestAPILinkLoadPointCap(t *testing.T) {
+	var maps []*wmap.Map
+	for i := 0; i < 8; i++ {
+		maps = append(maps, testMap(wmap.Europe, at(5*i), 10+i, 20+i, 30+i, 40+i, 50+i, 60+i))
+	}
+	rd := openArchive(t, buildArchive(t, 3, maps...))
+	a := &api{rd: rd, maxPoints: 10}
+	h := a.routes()
+	id := LinkKeysOf(maps[0])[0].ID(wmap.Europe)
+
+	v := getJSON(t, h, "/api/v1/links/"+id+"/load", http.StatusBadRequest) // 16 raw points > 10
+	if msg, _ := v["error"].(string); !strings.Contains(msg, "step") {
+		t.Errorf("cap error %q does not hint at step", msg)
+	}
+	getJSON(t, h, "/api/v1/links/"+id+"/load?step=20m", http.StatusOK) // resampled: allowed
+	// A narrow raw window fits under the cap.
+	u := "/api/v1/links/" + id + "/load?from=" + at(0).Format(time.RFC3339) + "&to=" + at(10).Format(time.RFC3339)
+	getJSON(t, h, u, http.StatusOK)
+}
+
+// TestAPILinkLoadCancelled serves a request whose context is already
+// cancelled: the handler must bail with 499 instead of decoding.
+func TestAPILinkLoadCancelled(t *testing.T) {
+	h, sample := apiFixture(t)
+	id := LinkKeysOf(sample)[0].ID(wmap.Europe)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/links/"+id+"/load", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Errorf("cancelled request = %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/api/v1/imbalance?map=europe", nil).WithContext(ctx)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Errorf("cancelled imbalance = %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+}
+
+// TestAPIStats checks the stats endpoint reports archive shape and live
+// cache counters.
+func TestAPIStats(t *testing.T) {
+	var maps []*wmap.Map
+	for i := 0; i < 8; i++ {
+		maps = append(maps, testMap(wmap.Europe, at(5*i), 10+i, 20+i, 30+i, 40+i, 50+i, 60+i))
+	}
+	rd := openArchive(t, buildArchive(t, 3, maps...))
+	rd.SetBlockCache(NewBlockCache(1 << 20))
+	h := NewAPIHandler(rd)
+
+	v := getJSON(t, h, "/api/v1/stats", http.StatusOK)
+	arch := v["archive"].(map[string]any)
+	if arch["snapshots"] != float64(8) || arch["blocks"] != float64(3) {
+		t.Errorf("archive stats = %v", arch)
+	}
+	bc := v["block_cache"].(map[string]any)
+	if bc["enabled"] != true {
+		t.Fatalf("block_cache = %v", bc)
+	}
+
+	// Hit the same topology twice; the second serve must be a cache hit.
+	getJSON(t, h, "/api/v1/topology?map=europe", http.StatusOK)
+	getJSON(t, h, "/api/v1/topology?map=europe", http.StatusOK)
+	v = getJSON(t, h, "/api/v1/stats", http.StatusOK)
+	cs := v["block_cache"].(map[string]any)["stats"].(map[string]any)
+	if cs["hits"].(float64) < 1 || cs["misses"].(float64) < 1 {
+		t.Errorf("cache stats after repeated topology = %v", cs)
+	}
+}
+
+// TestAPIConcurrentConsistency hammers every endpoint from 32 goroutines
+// over one shared cached reader and requires each response to be
+// byte-identical to the single-threaded serve — the invariant the
+// immutable shared cache and singleflight exist to keep. Run under
+// -race this also proves the serving path is data-race free.
+func TestAPIConcurrentConsistency(t *testing.T) {
+	var maps []*wmap.Map
+	for i := 0; i < 24; i++ {
+		maps = append(maps, testMap(wmap.Europe, at(5*i), 10+i%50, 20+i%50, 30+i%50, 40+i%50, 50+i%40, 60+i%40))
+	}
+	maps = append(maps, testMap(wmap.World, at(0), 1, 2, 3, 4, 5, 6))
+	rd := openArchive(t, buildArchive(t, 4, maps...))
+	rd.SetBlockCache(NewBlockCache(1 << 20))
+	h := NewAPIHandler(rd)
+
+	keys := LinkKeysOf(maps[0])
+	urls := []string{
+		"/api/v1/maps",
+		"/api/v1/topology?map=europe",
+		"/api/v1/topology?map=europe&at=" + at(22).Format(time.RFC3339),
+		"/api/v1/links/" + keys[0].ID(wmap.Europe) + "/load",
+		"/api/v1/links/" + keys[2].ID(wmap.Europe) + "/load?step=15m",
+		"/api/v1/links/" + keys[1].ID(wmap.Europe) + "/load?from=" + at(10).Format(time.RFC3339) + "&to=" + at(60).Format(time.RFC3339),
+		"/api/v1/imbalance?map=europe",
+		"/api/v1/imbalance?map=world",
+		"/api/v1/topology?map=nowhere", // error paths must be deterministic too
+	}
+	serve := func(url string) (int, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		return rec.Code, rec.Body.String()
+	}
+	wantCode := make([]int, len(urls))
+	wantBody := make([]string, len(urls))
+	for i, u := range urls {
+		wantCode[i], wantBody[i] = serve(u)
+	}
+
+	const goroutines = 32
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(urls)
+				code, body := serve(urls[i])
+				if code != wantCode[i] || body != wantBody[i] {
+					errs <- fmt.Errorf("goroutine %d round %d %s: code %d body %d bytes, want %d / %d bytes",
+						g, r, urls[i], code, len(body), wantCode[i], len(wantBody[i]))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if s := rd.BlockCache().Stats(); s.Hits == 0 {
+		t.Errorf("hammer recorded no cache hits: %+v", s)
+	}
 }
 
 func TestAPIMethodNotAllowed(t *testing.T) {

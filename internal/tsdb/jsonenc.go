@@ -1,0 +1,248 @@
+package tsdb
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Append-style JSON encoding for the hot API endpoints. The per-request
+// json.Encoder walked every response through reflection and allocated a
+// fresh buffer each time; these helpers build the body into a pooled byte
+// slice instead, so a hot-cache serve allocates (almost) nothing and the
+// handler knows the Content-Length before writing.
+
+// encPool recycles response buffers. Buffers that grew past
+// maxPooledEncBuf (a pathological full-range series) are dropped rather
+// than pinned forever.
+var encPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 16<<10)
+		return &b
+	},
+}
+
+const maxPooledEncBuf = 1 << 20
+
+func getEncBuf() *[]byte {
+	return encPool.Get().(*[]byte)
+}
+
+func putEncBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledEncBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	encPool.Put(bp)
+}
+
+// hexEsc spells the \u00XX escape digits for control bytes.
+const hexEsc = "0123456789abcdef"
+
+// appendJSONString appends s as a quoted JSON string. The fast path copies
+// spans without escapable bytes in one append; quotes, backslashes, and
+// control characters are escaped, and non-ASCII UTF-8 passes through raw
+// (valid JSON).
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		case '\t':
+			b = append(b, '\\', 't')
+		default:
+			b = append(b, '\\', 'u', '0', '0', hexEsc[c>>4], hexEsc[c&0xf])
+		}
+		start = i + 1
+	}
+	return append(append(b, s[start:]...), '"')
+}
+
+// appendJSONTime appends t exactly as encoding/json renders a time.Time: a
+// quoted RFC 3339 string with nanoseconds when present. Archive timestamps
+// are whole-second UTC instants, which take a layout-free fast path —
+// AppendFormat's layout interpretation is a measurable fraction of a hot
+// series response.
+func appendJSONTime(b []byte, t time.Time) []byte {
+	b = append(b, '"')
+	if _, off := t.Zone(); off == 0 && t.Nanosecond() == 0 {
+		if sec := t.Unix(); sec >= rfc3339FastMin && sec < rfc3339FastMax {
+			b = appendRFC3339UTC(b, sec)
+			return append(b, '"')
+		}
+	}
+	b = t.AppendFormat(b, time.RFC3339Nano)
+	return append(b, '"')
+}
+
+// The fast formatter covers four-digit years; anything else (year 0 or
+// five digits) falls back to AppendFormat.
+const (
+	rfc3339FastMin = -62135596800 // 0001-01-01T00:00:00Z
+	rfc3339FastMax = 253402300800 // 10000-01-01T00:00:00Z
+)
+
+// digitPairs holds "00" through "99" so two digits cost one table copy.
+var digitPairs = func() (p [200]byte) {
+	for i := 0; i < 100; i++ {
+		p[2*i] = byte('0' + i/10)
+		p[2*i+1] = byte('0' + i%10)
+	}
+	return
+}()
+
+func append2(b []byte, v int) []byte {
+	return append(b, digitPairs[2*v], digitPairs[2*v+1])
+}
+
+// splitDays splits a unix-seconds instant into civil days since the epoch
+// and the second of day.
+func splitDays(sec int64) (days, rem int64) {
+	days = sec / 86400
+	rem = sec % 86400
+	if rem < 0 {
+		rem += 86400
+		days--
+	}
+	return days, rem
+}
+
+// appendCivilDate appends days (civil days since 1970-01-01) as
+// "2006-01-02". The split is Howard Hinnant's days-from-civil inverse.
+func appendCivilDate(b []byte, days int64) []byte {
+	z := days + 719468
+	era := z / 146097
+	if z < 0 {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	day := doy - (153*mp+2)/5 + 1
+	month := mp + 3
+	if mp >= 10 {
+		month = mp - 9
+	}
+	year := yoe + era*400
+	if month <= 2 {
+		year++
+	}
+	b = append2(b, int(year)/100)
+	b = append2(b, int(year)%100)
+	b = append(b, '-')
+	b = append2(b, int(month))
+	b = append(b, '-')
+	return append2(b, int(day))
+}
+
+// appendClock appends the second of day rem as "15:04:05Z".
+func appendClock(b []byte, rem int64) []byte {
+	b = append2(b, int(rem/3600))
+	b = append(b, ':')
+	b = append2(b, int(rem/60%60))
+	b = append(b, ':')
+	b = append2(b, int(rem%60))
+	return append(b, 'Z')
+}
+
+// appendRFC3339UTC appends sec as "2006-01-02T15:04:05Z".
+func appendRFC3339UTC(b []byte, sec int64) []byte {
+	days, rem := splitDays(sec)
+	b = appendCivilDate(b, days)
+	b = append(b, 'T')
+	return appendClock(b, rem)
+}
+
+// timeEncoder renders a run of timestamps, memoizing the formatted date
+// so consecutive same-day instants — every series response, where points
+// sit minutes apart — pay only for the clock digits. Zero value is ready.
+type timeEncoder struct {
+	day    int64
+	prefix [11]byte // "2006-01-02T"
+	valid  bool
+}
+
+func (e *timeEncoder) append(b []byte, t time.Time) []byte {
+	if _, off := t.Zone(); off != 0 || t.Nanosecond() != 0 {
+		b = append(b, '"')
+		b = t.AppendFormat(b, time.RFC3339Nano)
+		return append(b, '"')
+	}
+	sec := t.Unix()
+	if sec < rfc3339FastMin || sec >= rfc3339FastMax {
+		b = append(b, '"')
+		b = t.AppendFormat(b, time.RFC3339Nano)
+		return append(b, '"')
+	}
+	days, rem := splitDays(sec)
+	if !e.valid || days != e.day {
+		p := appendCivilDate(e.prefix[:0], days)
+		e.prefix[len(p)] = 'T'
+		e.day, e.valid = days, true
+	}
+	b = append(b, '"')
+	b = append(b, e.prefix[:]...)
+	b = appendClock(b, rem)
+	return append(b, '"')
+}
+
+// appendUnix renders a whole-second UTC instant given as unix seconds —
+// the form archive time columns store — skipping append's zone and
+// nanosecond probes.
+func (e *timeEncoder) appendUnix(b []byte, sec int64) []byte {
+	if sec < rfc3339FastMin || sec >= rfc3339FastMax {
+		return e.append(b, time.Unix(sec, 0).UTC())
+	}
+	days, rem := splitDays(sec)
+	if !e.valid || days != e.day {
+		p := appendCivilDate(e.prefix[:0], days)
+		e.prefix[len(p)] = 'T'
+		e.day, e.valid = days, true
+	}
+	b = append(b, '"')
+	b = append(b, e.prefix[:]...)
+	b = appendClock(b, rem)
+	return append(b, '"')
+}
+
+// appendJSONFloat appends v exactly as encoding/json renders a float64:
+// shortest round-trippable decimal, fixed-point inside [1e-6, 1e21),
+// exponent form (with the leading zero of small exponents trimmed)
+// outside. Series values come from integer loads and their window
+// averages; the raw (unresampled) series is all integers, which skip the
+// shortest-float search for a plain AppendInt.
+func appendJSONFloat(b []byte, v float64) []byte {
+	if i := int64(v); float64(i) == v && (i != 0 || !math.Signbit(v)) &&
+		i > -(1<<53) && i < 1<<53 {
+		return strconv.AppendInt(b, i, 10)
+	}
+	format := byte('f')
+	if abs := math.Abs(v); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	n := len(b)
+	b = strconv.AppendFloat(b, v, format, -1, 64)
+	if format == 'e' {
+		// encoding/json trims "e-09" to "e-9".
+		if m := len(b); m-n >= 4 && b[m-4] == 'e' && b[m-3] == '-' && b[m-2] == '0' {
+			b[m-2] = b[m-1]
+			b = b[:m-1]
+		}
+	}
+	return b
+}

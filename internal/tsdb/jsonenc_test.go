@@ -1,0 +1,55 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestAppendJSONTimeMatchesEncodingJSON pins the fast RFC 3339 formatter
+// (and its fallbacks) to exactly what encoding/json produces, across the
+// fast-path boundaries: whole seconds, nanoseconds, non-UTC offsets,
+// pre-1970 instants, and the four-digit-year edges.
+func TestAppendJSONTimeMatchesEncodingJSON(t *testing.T) {
+	cet := time.FixedZone("CET", 3600)
+	cases := []time.Time{
+		time.Date(2020, 7, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2016, 2, 29, 23, 59, 59, 0, time.UTC), // leap day
+		time.Date(1969, 12, 31, 23, 59, 59, 0, time.UTC),
+		time.Date(1903, 1, 2, 3, 4, 5, 0, time.UTC),
+		time.Date(2020, 7, 1, 12, 30, 0, 500, time.UTC),       // nanoseconds
+		time.Date(2020, 7, 1, 12, 30, 0, 123456789, time.UTC), // nanoseconds
+		time.Date(2020, 7, 1, 12, 30, 0, 0, cet),              // non-UTC offset
+		time.Unix(rfc3339FastMin, 0).UTC(),                    // year 1
+		time.Unix(rfc3339FastMax-1, 0).UTC(),                  // year 9999
+		time.Unix(0, 0).UTC(),
+		{}, // zero time, year 1, before the unix-seconds fast window
+	}
+	for _, tc := range cases {
+		want, err := json.Marshal(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONTime(nil, tc); string(got) != string(want) {
+			t.Errorf("appendJSONTime(%v) = %s, want %s", tc, got, want)
+		}
+	}
+}
+
+// TestAppendJSONFloatMatchesEncodingJSON pins the integer fast path and the
+// shortest-float fallback to encoding/json's output.
+func TestAppendJSONFloatMatchesEncodingJSON(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, 42, 97.5, -0.25, 100, 1e15, -1e15, 1e16, 1e21, -1e300,
+		0.1, 1.0 / 3.0, 12345678901234567890, float64(1<<53) - 1, 1 << 53,
+	}
+	for _, v := range cases {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, v); string(got) != string(want) {
+			t.Errorf("appendJSONFloat(%v) = %s, want %s", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package tsdb
+
+import (
+	"context"
+	"runtime"
+)
+
+// The read-ahead pipeline: a bounded worker pool decodes the next few
+// blocks of a scan while the consumer is still folding the current one, so
+// full-corpus analyses use every core without reordering the stream.
+// Results are delivered strictly in input order, which is what keeps the
+// parallel path byte-identical to the sequential one (proven by
+// TestArchiveEquivalence and TestCursorParallelMatchesSequential).
+
+// fetchResult is one decoded block or the error that stopped its decode.
+type fetchResult struct {
+	db  *decodedBlock
+	err error
+}
+
+// readAheadSlack is how many decoded blocks may sit finished ahead of the
+// consumer beyond the worker count; it bounds pipeline memory to
+// (workers + readAheadSlack) blocks.
+const readAheadSlack = 2
+
+// startReadAhead decodes blocks ids[i] (with column group group(i)) on up
+// to workers goroutines and returns a channel delivering the results in
+// ids order. The pipeline stops when ctx is cancelled: every goroutine
+// selects on ctx.Done, so a disconnected client or an abandoned cursor
+// unwinds the pool without leaking. When the returned channel closes, the
+// consumer must check ctx.Err() to tell natural completion from
+// cancellation. After an error result the channel closes — later blocks
+// are not delivered.
+func (r *Reader) startReadAhead(ctx context.Context, ids []int, group func(i int) int, workers int) <-chan fetchResult {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	// Per-slot buffered channels restore order: worker i publishes into
+	// slots[i] (capacity 1, so the send never blocks), the forwarder drains
+	// slots in sequence. sem caps how far decoding may run ahead.
+	slots := make([]chan fetchResult, len(ids))
+	for i := range slots {
+		slots[i] = make(chan fetchResult, 1)
+	}
+	jobs := make(chan int)
+	sem := make(chan struct{}, workers+readAheadSlack)
+
+	go func() { // dispatcher
+		defer close(jobs)
+		for i := range ids {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				db, err := r.block(ids[i], group(i))
+				slots[i] <- fetchResult{db: db, err: err}
+			}
+		}()
+	}
+
+	out := make(chan fetchResult)
+	go func() { // forwarder: order restoration and backpressure release
+		defer close(out)
+		for i := range slots {
+			var res fetchResult
+			select {
+			case res = <-slots[i]:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case out <- res:
+			case <-ctx.Done():
+				return
+			}
+			<-sem
+			if res.err != nil {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// defaultReadAheadWorkers is the worker count CursorContext and LinkSeries
+// use: one decoder per available core.
+func defaultReadAheadWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,9 +1,11 @@
 package tsdb
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"io"
 	"math"
 	"os"
@@ -30,6 +32,11 @@ type Reader struct {
 	blocks []blockMeta
 	perMap map[wmap.MapID][]int // block indexes, chronological
 	mapIDs []wmap.MapID
+	fp     uint64 // archive fingerprint: FNV-1a over size and footer bytes
+
+	// cache, when set, holds immutable decoded blocks shared across
+	// queries and readers; see SetBlockCache.
+	cache *BlockCache
 
 	linkDirOnce sync.Once
 	linkDir     map[string]linkAddr
@@ -123,6 +130,12 @@ func (r *Reader) parse() error {
 	if sum := crc32.ChecksumIEEE(footer); sum != binary.LittleEndian.Uint32(tail[:4]) {
 		return corruptf(footerStart, "footer checksum mismatch")
 	}
+	fh := fnv.New64a()
+	var szb [8]byte
+	binary.LittleEndian.PutUint64(szb[:], uint64(r.size))
+	fh.Write(szb[:])
+	fh.Write(footer)
+	r.fp = fh.Sum64()
 	return r.parseFooter(&dec{b: footer, off: footerStart}, footerStart)
 }
 
@@ -351,11 +364,56 @@ func (r *Reader) Stats() ArchiveStats {
 	return s
 }
 
+// Fingerprint identifies the archive's exact contents: an FNV-1a hash of
+// the file size and footer bytes (which in turn checksum every block).
+// It keys the decoded-block cache and the API's ETags.
+func (r *Reader) Fingerprint() uint64 { return r.fp }
+
+// SetBlockCache attaches a decoded-block cache. Set it right after open,
+// before the reader serves concurrent queries; a nil cache disables
+// caching. One cache may back several readers — keys carry the archive
+// fingerprint.
+func (r *Reader) SetBlockCache(c *BlockCache) { r.cache = c }
+
+// BlockCache returns the attached cache, nil when caching is disabled.
+func (r *Reader) BlockCache() *BlockCache { return r.cache }
+
 // decodedBlock is one block's columns in memory; unneeded columns stay nil.
+// Once returned by decodeBlock a decodedBlock is immutable: instances are
+// shared by the block cache across concurrent queries, and materialize
+// clones everything it hands to callers.
 type decodedBlock struct {
 	meta  *blockMeta
 	times []int64
 	cols  [][]wmap.Load
+}
+
+// groupWant converts a cache column group to decodeBlock's column filter:
+// allColumns decodes everything, otherwise only the link's two directed
+// columns.
+func groupWant(group int) func(ci int) bool {
+	if group == allColumns {
+		return nil
+	}
+	return func(ci int) bool { return ci == 2*group || ci == 2*group+1 }
+}
+
+// block returns block bi with the given column group decoded, through the
+// cache when one is attached. A fully decoded cached block satisfies any
+// group request, so single-link queries ride on blocks a cursor already
+// paid to decode.
+func (r *Reader) block(bi, group int) (*decodedBlock, error) {
+	if r.cache == nil {
+		return r.decodeBlock(bi, groupWant(group))
+	}
+	if group != allColumns {
+		if db, ok := r.cache.get(cacheKey{arch: r.fp, block: bi, group: allColumns}); ok {
+			return db, nil
+		}
+	}
+	return r.cache.getOrLoad(cacheKey{arch: r.fp, block: bi, group: group}, func() (*decodedBlock, error) {
+		return r.decodeBlock(bi, groupWant(group))
+	})
 }
 
 // decodeBlock reads and decodes one block. want selects load columns by
@@ -482,18 +540,25 @@ func (r *Reader) decodeBlock(bi int, want func(ci int) bool) (*decodedBlock, err
 // materialize rebuilds the full snapshot at point pi of a decoded block.
 // The returned map shares no mutable state with the reader.
 func (r *Reader) materialize(db *decodedBlock, pi int) *wmap.Map {
+	m := &wmap.Map{}
+	r.materializeInto(db, pi, m)
+	return m
+}
+
+// materializeInto rebuilds the snapshot at point pi of a decoded block
+// into m, reusing m's slice capacity — the zero-allocation steady state
+// behind Cursor.MapView. The result shares no mutable state with the
+// reader or the (possibly cached, shared) decoded block.
+func (r *Reader) materializeInto(db *decodedBlock, pi int, m *wmap.Map) {
 	topo := r.topos[db.meta.topoIndex]
-	m := &wmap.Map{
-		ID:    wmap.MapID(r.strs[db.meta.mapRef]),
-		Time:  time.Unix(db.times[pi], 0).UTC(),
-		Nodes: append([]wmap.Node(nil), topo.nodes...),
-		Links: append([]wmap.Link(nil), topo.links...),
-	}
+	m.ID = wmap.MapID(r.strs[db.meta.mapRef])
+	m.Time = time.Unix(db.times[pi], 0).UTC()
+	m.Nodes = append(m.Nodes[:0], topo.nodes...)
+	m.Links = append(m.Links[:0], topo.links...)
 	for i := range m.Links {
 		m.Links[i].LoadAB = db.cols[2*i][pi]
 		m.Links[i].LoadBA = db.cols[2*i+1][pi]
 	}
-	return m
 }
 
 // blockRange binary-searches the map's chronological block list for the
@@ -535,7 +600,7 @@ func (r *Reader) SnapshotAt(id wmap.MapID, at time.Time) (*wmap.Map, error) {
 	if i < 0 {
 		return nil, fmt.Errorf("tsdb: %s at %s: %w", id, at.UTC(), ErrNoSnapshot)
 	}
-	db, err := r.decodeBlock(bl[i], nil)
+	db, err := r.block(bl[i], allColumns)
 	if err != nil {
 		return nil, err
 	}
@@ -566,32 +631,96 @@ func (r *Reader) mapHasLink(id wmap.MapID, key LinkKey) bool {
 // contribute no points; a link no topology of the map contains fails with
 // ErrUnknownLink.
 func (r *Reader) LinkSeries(id wmap.MapID, key LinkKey, from, to time.Time) (ab, ba *stats.TimeSeries, err error) {
-	if len(r.perMap[id]) == 0 {
-		return nil, nil, fmt.Errorf("tsdb: map %q: %w", id, ErrUnknownMap)
-	}
-	if !r.mapHasLink(id, key) {
-		return nil, nil, fmt.Errorf("tsdb: %s link %s: %w", id, key, ErrUnknownLink)
-	}
-	fromU, toU := rangeBounds(from, to)
+	return r.LinkSeriesContext(context.Background(), id, key, from, to)
+}
+
+// LinkSeriesContext is LinkSeries with cancellation: block decodes run on
+// the read-ahead pipeline, and a cancelled ctx stops the scan between
+// blocks with ctx.Err() — the API handler passes the request context so a
+// disconnected client stops burning decode work.
+func (r *Reader) LinkSeriesContext(ctx context.Context, id wmap.MapID, key LinkKey, from, to time.Time) (ab, ba *stats.TimeSeries, err error) {
 	ab, ba = stats.NewTimeSeries(), stats.NewTimeSeries()
-	for _, bi := range r.blockRange(id, fromU, toU) {
-		ci := r.topos[r.blocks[bi].topoIndex].linkIndex(key)
-		if ci < 0 {
-			continue
+	err = r.LinkColumnsContext(ctx, id, key, from, to, func(times []int64, abCol, baCol []wmap.Load) error {
+		ab.Grow(len(times))
+		ba.Grow(len(times))
+		for k, sec := range times {
+			at := time.Unix(sec, 0).UTC()
+			ab.Append(at, float64(abCol[k]))
+			ba.Append(at, float64(baCol[k]))
 		}
-		db, err := r.decodeBlock(bi, func(c int) bool { return c == 2*ci || c == 2*ci+1 })
-		if err != nil {
-			return nil, nil, err
-		}
-		lo := sort.Search(len(db.times), func(i int) bool { return db.times[i] >= fromU })
-		hi := sort.Search(len(db.times), func(i int) bool { return db.times[i] > toU })
-		for pi := lo; pi < hi; pi++ {
-			at := time.Unix(db.times[pi], 0).UTC()
-			ab.Append(at, float64(db.cols[2*ci][pi]))
-			ba.Append(at, float64(db.cols[2*ci+1][pi]))
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return ab, ba, nil
+}
+
+// LinkColumnsContext streams the raw per-block columns of one link in
+// chronological order: fn receives the time column and the two directed
+// load columns, trimmed to [from, to]. The slices alias shared (possibly
+// cached) decoded state — fn must not mutate or retain them. This is the
+// hot serving path for raw series: no per-point time.Time or TimeSeries
+// materialization between the cache and the encoder.
+func (r *Reader) LinkColumnsContext(ctx context.Context, id wmap.MapID, key LinkKey, from, to time.Time, fn func(times []int64, ab, ba []wmap.Load) error) error {
+	if len(r.perMap[id]) == 0 {
+		return fmt.Errorf("tsdb: map %q: %w", id, ErrUnknownMap)
+	}
+	if !r.mapHasLink(id, key) {
+		return fmt.Errorf("tsdb: %s link %s: %w", id, key, ErrUnknownLink)
+	}
+	fromU, toU := rangeBounds(from, to)
+	// Resolve each block's column group up front; blocks whose topology
+	// lacks the link contribute nothing and never enter the pipeline.
+	var ids, groups []int
+	for _, bi := range r.blockRange(id, fromU, toU) {
+		if ci := r.topos[r.blocks[bi].topoIndex].linkIndex(key); ci >= 0 {
+			ids = append(ids, bi)
+			groups = append(groups, ci)
+		}
+	}
+	return r.linkColumns(ctx, ids, groups, fromU, toU, fn)
+}
+
+// linkColumns runs the read-ahead pipeline over the resolved blocks and
+// feeds each block's trimmed columns to fn in order.
+func (r *Reader) linkColumns(ctx context.Context, ids, groups []int, fromU, toU int64, fn func(times []int64, ab, ba []wmap.Load) error) error {
+	if len(ids) == 0 {
+		return ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := r.startReadAhead(ctx, ids, func(i int) int { return groups[i] }, defaultReadAheadWorkers())
+	i := 0
+	for res := range out {
+		if res.err != nil {
+			return res.err
+		}
+		db, ci := res.db, groups[i]
+		i++
+		lo := sort.Search(len(db.times), func(i int) bool { return db.times[i] >= fromU })
+		hi := sort.Search(len(db.times), func(i int) bool { return db.times[i] > toU })
+		if lo < hi {
+			if err := fn(db.times[lo:hi], db.cols[2*ci][lo:hi], db.cols[2*ci+1][lo:hi]); err != nil {
+				return err
+			}
+		}
+	}
+	return ctx.Err()
+}
+
+// rangePointCount is an upper bound on the map's snapshots in [from, to]:
+// the sum of the index's per-block point counts over the overlapping
+// blocks, costing no decode work. Edge blocks may overhang the range, so
+// the bound can exceed the exact count by at most two blocks' points —
+// what the API's response-size guard needs.
+func (r *Reader) rangePointCount(id wmap.MapID, from, to time.Time) int {
+	fromU, toU := rangeBounds(from, to)
+	n := 0
+	for _, bi := range r.blockRange(id, fromU, toU) {
+		n += r.blocks[bi].points
+	}
+	return n
 }
 
 // ResolveLinkID maps a query-API link id back to its map and key, scanning
