@@ -3,6 +3,11 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -190,33 +195,14 @@ func TestArchiveEquivalence(t *testing.T) {
 		}
 		return cur.Err()
 	}
-	renderAnalyses := func(stream analysis.Stream) string {
-		var sb strings.Builder
-		loads, err := analysis.LoadCDF(stream)
-		if err != nil {
-			t.Fatal(err)
-		}
-		analysis.WriteLoadCDF(&sb, loads)
-		imb, err := analysis.ImbalanceCDF(stream, wmap.PaperImbalanceOptions())
-		if err != nil {
-			t.Fatal(err)
-		}
-		analysis.WriteImbalance(&sb, imb)
-		infra, err := analysis.Infrastructure(stream)
-		if err != nil {
-			t.Fatal(err)
-		}
-		analysis.WriteInfraSeries(&sb, infra, time.Hour)
-		return sb.String()
-	}
-	want := renderAnalyses(yamlStream)
-	if got := renderAnalyses(tsdbStream); got != want {
+	want := renderAnalyses(t, yamlStream)
+	if got := renderAnalyses(t, tsdbStream); got != want {
 		t.Errorf("analysis output diverges between tsdb and YAML paths:\n--- tsdb ---\n%s\n--- yaml ---\n%s", got, want)
 	}
 	// Twice through the parallel cached stream: the first pass fills the
 	// cache, the second serves from it — both must render identically.
 	for pass := 1; pass <= 2; pass++ {
-		if got := renderAnalyses(tsdbParallelStream); got != want {
+		if got := renderAnalyses(t, tsdbParallelStream); got != want {
 			t.Errorf("parallel cached cursor (pass %d) diverges from the YAML analyses:\n--- parallel ---\n%s\n--- yaml ---\n%s", pass, got, want)
 		}
 	}
@@ -236,5 +222,211 @@ func TestArchiveEquivalence(t *testing.T) {
 	}
 	if int64(bufA.Len())*5 > yamlBytes {
 		t.Errorf("archive = %d bytes, YAML corpus = %d bytes: want >= 5x smaller", bufA.Len(), yamlBytes)
+	}
+}
+
+// renderAnalyses runs the paper's Europe analyses over a snapshot stream
+// and returns the rendered figures — the byte string the equivalence tests
+// compare across ingest paths.
+func renderAnalyses(t *testing.T, stream analysis.Stream) string {
+	t.Helper()
+	var sb strings.Builder
+	loads, err := analysis.LoadCDF(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.WriteLoadCDF(&sb, loads)
+	imb, err := analysis.ImbalanceCDF(stream, wmap.PaperImbalanceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.WriteImbalance(&sb, imb)
+	infra, err := analysis.Infrastructure(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.WriteInfraSeries(&sb, infra, time.Hour)
+	return sb.String()
+}
+
+// TestLiveArchiveEquivalence proves follow mode costs nothing in output
+// fidelity: snapshots landing in a dataset directory in stages, ingested by
+// catch-up passes into an OpenAppend archive with a durable commit per
+// stage (the wmparse -follow loop), must close into an archive
+// byte-identical to the batch build of the same corpus — and the paper's
+// figures rendered from it must be byte-identical to the YAML-stream
+// figures. Along the way a live reader tails the archive over the query
+// API, asserting each commit rolls the advertised fingerprint: a stale
+// If-None-Match re-fetches with 200, the current one revalidates with 304.
+func TestLiveArchiveEquivalence(t *testing.T) {
+	const (
+		stages     = 3
+		stageSteps = 16 // one full block per stage, so commit points align
+		blockPts   = 16 // with block boundaries and byte-identity can hold
+	)
+	sc := netsim.DefaultScenario()
+	sim, err := netsim.New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := dataset.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := render.NewSceneCache(render.Options{})
+
+	// Pre-render the whole corpus; the stage loop releases it into the
+	// dataset directory piecewise, as a crawler would.
+	type snap struct {
+		at   time.Time
+		data []byte
+	}
+	var snaps []snap
+	from := sc.Start.AddDate(0, 2, 0)
+	for i := 0; i < stages*stageSteps; i++ {
+		at := from.Add(time.Duration(i) * 5 * time.Minute)
+		m, err := sim.MapAt(wmap.Europe, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := scene.WriteSVGCached(&sb, m); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snap{at, []byte(sb.String())})
+	}
+
+	archPath := filepath.Join(t.TempDir(), "live.tsdb")
+	arch, err := tsdb.OpenAppend(archPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch.SetBlockPoints(blockPts)
+
+	var (
+		rd      *tsdb.Reader
+		srv     *httptest.Server
+		lastTag string
+	)
+	get := func(inm string) (status int, etag string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/api/v1/maps", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("ETag")
+	}
+
+	for s := 0; s < stages; s++ {
+		for _, sn := range snaps[s*stageSteps : (s+1)*stageSteps] {
+			if err := store.WriteSnapshot(wmap.Europe, sn.at, dataset.ExtSVG, sn.data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The catch-up pass, exactly as wmparse -follow runs it: emit from
+		// the archived tail, then commit the cycle.
+		popt := dataset.ProcessOptions{
+			Workers: 4,
+			Extract: extract.DefaultOptions(),
+			Emit:    arch.Append,
+		}
+		if lt, ok := arch.LastTime(wmap.Europe); ok {
+			popt.EmitFrom = lt
+		}
+		if _, err := store.ProcessMapParallel(context.Background(), wmap.Europe, popt); err != nil {
+			t.Fatalf("stage %d: %v", s, err)
+		}
+		if err := arch.Sync(); err != nil {
+			t.Fatalf("stage %d: %v", s, err)
+		}
+
+		// The tailing side: adopt the commit, verify coverage and the ETag
+		// roll.
+		if s == 0 {
+			rd, err = tsdb.OpenFile(archPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rd.Close()
+			srv = httptest.NewServer(tsdb.NewAPIHandler(rd))
+			defer srv.Close()
+		} else {
+			changed, err := rd.Refresh()
+			if err != nil || !changed {
+				t.Fatalf("stage %d: Refresh changed=%v err=%v", s, changed, err)
+			}
+		}
+		if got, want := rd.Snapshots(wmap.Europe), (s+1)*stageSteps; got != want {
+			t.Fatalf("stage %d: reader covers %d snapshots, want %d", s, got, want)
+		}
+		status, tag := get("")
+		if status != http.StatusOK || tag == "" {
+			t.Fatalf("stage %d: GET maps: status %d etag %q", s, status, tag)
+		}
+		if status, _ := get(tag); status != http.StatusNotModified {
+			t.Fatalf("stage %d: current tag revalidated with %d, want 304", s, status)
+		}
+		if s > 0 {
+			if tag == lastTag {
+				t.Fatalf("stage %d: ETag did not roll with the commit: %q", s, tag)
+			}
+			if status, _ := get(lastTag); status != http.StatusOK {
+				t.Fatalf("stage %d: stale tag %q answered %d, want 200 with fresh data", s, lastTag, status)
+			}
+		}
+		lastTag = tag
+	}
+	if err := arch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	liveBytes, err := os.ReadFile(archPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch build of the now-complete corpus: byte-identical.
+	var batch bytes.Buffer
+	wB := tsdb.NewWriter(&batch)
+	wB.SetBlockPoints(blockPts)
+	if err := store.ArchiveTo(context.Background(), []wmap.MapID{wmap.Europe}, 4, wB.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := wB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveBytes, batch.Bytes()) {
+		t.Fatalf("staged live archive differs from batch archive: %d vs %d bytes",
+			len(liveBytes), batch.Len())
+	}
+
+	// And the figures from the closed live archive match the YAML stream
+	// byte for byte.
+	closed, err := tsdb.NewReader(bytes.NewReader(liveBytes), int64(len(liveBytes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveStream := func(yield func(*wmap.Map) error) error {
+		cur := closed.Cursor(wmap.Europe, time.Time{}, time.Time{})
+		for cur.Next() {
+			if err := yield(cur.Map()); err != nil {
+				return err
+			}
+		}
+		return cur.Err()
+	}
+	yamlStream := func(yield func(*wmap.Map) error) error {
+		return store.WalkMapsParallel(context.Background(), wmap.Europe, 4, yield)
+	}
+	if got, want := renderAnalyses(t, liveStream), renderAnalyses(t, yamlStream); got != want {
+		t.Errorf("figures from the follow-mode archive diverge from the YAML analyses:\n--- live ---\n%s\n--- yaml ---\n%s", got, want)
 	}
 }

@@ -18,10 +18,19 @@
 // earlier run — into a columnar tsdb archive (see internal/tsdb), the input
 // of wmanalyze -archive and the wmserve query API.
 //
+// -follow (requires -archive) turns the one-shot run into a live ingester:
+// the archive is opened in append mode (resuming whatever a previous run —
+// even one that crashed mid-append — committed), and after the initial
+// catch-up pass the dataset directory is re-scanned every -poll interval
+// for snapshots newer than each map's archived tail. Each cycle ends with
+// Writer.Sync, so a concurrent `wmserve -archive -live` adopts the new
+// blocks within its refresh interval. Ctrl-C closes the archive cleanly
+// into the normal footered form.
+//
 // Usage:
 //
 //	wmparse -data DIR [-maps europe,...] [-workers N] [-threshold 40]
-//	        [-archive FILE] [-std-decoder]
+//	        [-archive FILE] [-follow] [-poll 2s] [-std-decoder]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-quiet]
 package main
 
@@ -36,6 +45,7 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	"ovhweather/internal/dataset"
 	"ovhweather/internal/extract"
@@ -57,6 +67,8 @@ func main() {
 		colors     = flag.Bool("verify-colors", false, "cross-check load percentages against arrow colors")
 		stdDecoder = flag.Bool("std-decoder", false, "parse with encoding/xml instead of the fast lexer")
 		archive    = flag.String("archive", "", "also write a columnar tsdb archive to `file`")
+		follow     = flag.Bool("follow", false, "keep running: append snapshots to the archive as they land in -data")
+		poll       = flag.Duration("poll", 2*time.Second, "directory re-scan interval in -follow mode")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		profiles   prof.Profiles
 	)
@@ -67,6 +79,9 @@ func main() {
 		flag.Usage()
 		log.Fatal("missing -data")
 	}
+	if *follow && *archive == "" {
+		log.Fatal("-follow requires -archive")
+	}
 	svg.UseStdDecoder = *stdDecoder
 
 	// Failures below this point route through run() so the deferred profile
@@ -76,7 +91,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	code, err := run(*dir, *mapsStr, *workers, *threshold, *colors, *quiet, *archive)
+	code, err := run(*dir, *mapsStr, *workers, *threshold, *colors, *quiet, *archive, *follow, *poll)
 	if perr := stopProf(); perr != nil {
 		log.Print(perr)
 		if code == 0 {
@@ -90,7 +105,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool, archive string) (int, error) {
+func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool, archive string, follow bool, poll time.Duration) (int, error) {
 	store, err := dataset.Open(dir)
 	if err != nil {
 		return 1, err
@@ -99,12 +114,26 @@ func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool
 	opt.LabelThreshold = threshold
 	opt.VerifyColors = colors
 
+	ids := make([]wmap.MapID, 0, 4)
+	for _, s := range strings.Split(mapsStr, ",") {
+		id, err := wmap.ParseMapID(s)
+		if err != nil {
+			return 1, err
+		}
+		ids = append(ids, id)
+	}
+
 	// The archive writer taps the pipeline through ProcessOptions.Emit, which
 	// delivers each map's snapshots in chronological order — the contract
-	// Writer.Append enforces.
+	// Writer.Append enforces. Follow mode appends to a live archive instead
+	// of rebuilding one, resuming from whatever a previous run committed.
 	var arch *tsdb.Writer
 	if archive != "" {
-		arch, err = tsdb.Create(archive)
+		if follow {
+			arch, err = tsdb.OpenAppend(archive)
+		} else {
+			arch, err = tsdb.Create(archive)
+		}
 		if err != nil {
 			return 1, err
 		}
@@ -115,39 +144,83 @@ func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool
 	defer stop()
 
 	exitCode := 0
-	for _, s := range strings.Split(mapsStr, ",") {
-		id, err := wmap.ParseMapID(s)
-		if err != nil {
-			return 1, err
-		}
-		progress := func(done, total int) {
-			if !quiet && total > 0 && done%500 == 0 {
-				fmt.Fprintf(os.Stderr, "\r%s: %d/%d", id, done, total)
+	// pass sweeps every map once. In follow mode later passes set EmitFrom to
+	// each map's archived tail, so a quiet poll costs one directory scan and
+	// re-processes nothing; reports are only logged when work happened.
+	pass := func(first bool) error {
+		for _, id := range ids {
+			id := id
+			progress := func(done, total int) {
+				if !quiet && first && total > 0 && done%500 == 0 {
+					fmt.Fprintf(os.Stderr, "\r%s: %d/%d", id, done, total)
+				}
+			}
+			popt := dataset.ProcessOptions{
+				Workers:  workers,
+				Extract:  opt,
+				Progress: progress,
+			}
+			if arch != nil {
+				popt.Emit = arch.Append
+				// A resumed live archive already holds a prefix of the series;
+				// emitting it again would (rightly) trip Append's ErrOutOfOrder.
+				if follow {
+					if lt, ok := arch.LastTime(id); ok {
+						popt.EmitFrom = lt
+					}
+				}
+			}
+			rep, err := store.ProcessMapParallel(ctx, id, popt)
+			if !quiet && first {
+				fmt.Fprintln(os.Stderr)
+			}
+			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					log.Printf("%s (interrupted)", rep)
+					return errors.New("interrupted")
+				}
+				return err
+			}
+			if first || rep.Total() > 0 {
+				log.Print(rep)
+			}
+			if rep.Failed() > 0 {
+				exitCode = 1
 			}
 		}
-		popt := dataset.ProcessOptions{
-			Workers:  workers,
-			Extract:  opt,
-			Progress: progress,
+		return nil
+	}
+
+	if err := pass(true); err != nil {
+		return 1, err
+	}
+	if follow {
+		// Publish the catch-up pass, then tail the directory until Ctrl-C.
+		if err := arch.Sync(); err != nil {
+			return 1, fmt.Errorf("archive: %w", err)
 		}
-		if arch != nil {
-			popt.Emit = arch.Append
-		}
-		rep, err := store.ProcessMapParallel(ctx, id, popt)
 		if !quiet {
-			fmt.Fprintln(os.Stderr)
+			st := arch.Stats()
+			log.Printf("following %s every %s (archive %s at %d snapshots, commit version %d)",
+				dir, poll, archive, st.Snapshots, arch.Version())
 		}
-		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				log.Printf("%s (interrupted)", rep)
-				return 1, errors.New("interrupted")
+		tk := time.NewTicker(poll)
+		defer tk.Stop()
+	followLoop:
+		for {
+			select {
+			case <-ctx.Done():
+				break followLoop
+			case <-tk.C:
+				if err := pass(false); err != nil {
+					return 1, err
+				}
+				if err := arch.Sync(); err != nil {
+					return 1, fmt.Errorf("archive: %w", err)
+				}
 			}
-			return 1, err
 		}
-		log.Print(rep)
-		if rep.Failed() > 0 {
-			exitCode = 1
-		}
+		log.Print("interrupted, closing archive")
 	}
 	if arch != nil {
 		if err := arch.Close(); err != nil {

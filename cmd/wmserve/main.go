@@ -5,7 +5,7 @@
 // Usage:
 //
 //	wmserve [-addr :8080] [-start RFC3339] [-step 5m] [-tick 1s]
-//	        [-archive FILE] [-block-cache BYTES]
+//	        [-archive FILE] [-live] [-refresh 2s] [-block-cache BYTES]
 //
 // Every -tick of wall-clock time advances the simulation by -step, exactly
 // like the real site's five-minute refresh, so a collector pointed at
@@ -25,6 +25,13 @@
 // by -block-cache (default 64 MiB, 0 disables); cache hit/miss/eviction
 // counters are visible on /api/v1/stats and, with the rest of the
 // process's expvar state, on /debug/vars.
+//
+// -live tails an archive that a concurrent `wmparse -follow` (or wmcollect
+// -archive) is still appending to: every -refresh interval the reader
+// adopts newly committed blocks, /api/v1/stats advertises the growing
+// covered time range, and ETags roll forward so stale clients re-fetch.
+// In-flight queries are never disturbed — each pins the committed snapshot
+// it started on.
 //
 // SIGINT or SIGTERM shuts the server down gracefully: in-flight requests
 // drain (bounded by a timeout), the virtual clock stops, and the process
@@ -73,6 +80,8 @@ func main() {
 		step     = flag.Duration("step", 5*time.Minute, "virtual time per tick")
 		tick     = flag.Duration("tick", time.Second, "wall-clock tick interval")
 		archive  = flag.String("archive", "", "serve the tsdb archive query API from `file` under /api/v1/")
+		live     = flag.Bool("live", false, "tail a still-appending archive: refresh the reader as blocks are committed")
+		refresh  = flag.Duration("refresh", 2*time.Second, "how often -live polls the archive for new committed blocks")
 		cacheB   = flag.Int64("block-cache", tsdb.DefaultBlockCacheBytes, "decoded-block cache budget in `bytes` for archive queries (0 disables)")
 	)
 	flag.Parse()
@@ -80,7 +89,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("bad -start: %v", err)
 	}
-	os.Exit(run(*addr, *archive, *cacheB, start, *step, *tick))
+	if *live && *archive == "" {
+		log.Fatal("-live requires -archive")
+	}
+	os.Exit(run(*addr, *archive, *cacheB, start, *step, *tick, *live, *refresh))
 }
 
 // newHandler assembles the site handler, mounting the archive query API,
@@ -120,7 +132,42 @@ func publishCacheStats(c *tsdb.BlockCache) {
 	}))
 }
 
-func run(addr, archive string, cacheBytes int64, start time.Time, step, tick time.Duration) int {
+// runRefresher polls the live archive for new committed blocks until ctx
+// is cancelled. Refresh errors are logged and retried — a partially
+// written checkpoint replacement can make a single poll fail benignly —
+// except ErrArchiveReplaced, which is permanent: the file under the reader
+// is no longer the archive it opened, so the refresher stops and the
+// server keeps serving the last consistent state.
+func runRefresher(ctx context.Context, rd *tsdb.Reader, every time.Duration) {
+	tk := time.NewTicker(every)
+	defer tk.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tk.C:
+			changed, err := rd.Refresh()
+			switch {
+			case errors.Is(err, tsdb.ErrArchiveReplaced):
+				log.Printf("live refresh: %v; freezing at version %d", err, rd.Version())
+				return
+			case err != nil:
+				log.Printf("live refresh: %v", err)
+			case changed && !rd.Live():
+				// The writer closed the archive into its footered form;
+				// nothing more will be committed.
+				log.Printf("live refresh: archive closed, serving its final state (%d blocks)",
+					rd.Stats().Blocks)
+				return
+			case changed:
+				log.Printf("live refresh: adopted commit version %d (%d blocks)",
+					rd.Version(), rd.Stats().Blocks)
+			}
+		}
+	}
+}
+
+func run(addr, archive string, cacheBytes int64, start time.Time, step, tick time.Duration, live bool, refresh time.Duration) int {
 	sim, err := netsim.New(netsim.DefaultScenario())
 	if err != nil {
 		log.Print(err)
@@ -146,6 +193,10 @@ func run(addr, archive string, cacheBytes int64, start time.Time, step, tick tim
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if live {
+		go runRefresher(ctx, rd, refresh)
+	}
 
 	srv := &http.Server{
 		Addr:              addr,

@@ -95,6 +95,14 @@ type Collector struct {
 	// Retries is how many times a failed fetch is retried immediately.
 	Retries int
 
+	// OnStored, when non-nil, observes every snapshot right after it is
+	// durably written to the store: the map, the collection timestamp, and
+	// the raw SVG bytes. The collector calls it synchronously on the poll
+	// goroutine and in chronological order per map, so a live-ingest hook
+	// can parse and append to a tsdb archive without its own ordering
+	// buffer. The callback must not retain data. An error aborts the cycle.
+	OnStored func(id wmap.MapID, t time.Time, data []byte) error
+
 	// cached holds the last body and validator per map for conditional
 	// requests; a 304 reuses the cached body under the new timestamp.
 	cached map[wmap.MapID]cachedDoc
@@ -134,6 +142,11 @@ func (c *Collector) CollectAt(t time.Time) (Stats, error) {
 		}
 		if err := c.Store.WriteSnapshot(id, t, dataset.ExtSVG, data); err != nil {
 			return st, fmt.Errorf("collect: storing %s at %s: %w", id, t, err)
+		}
+		if c.OnStored != nil {
+			if err := c.OnStored(id, t, data); err != nil {
+				return st, fmt.Errorf("collect: on-stored hook for %s at %s: %w", id, t, err)
+			}
 		}
 		if notModified {
 			st.NotModified++

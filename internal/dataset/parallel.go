@@ -18,7 +18,9 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"ovhweather/internal/extract"
 	"ovhweather/internal/wmap"
@@ -47,6 +49,13 @@ type ProcessOptions struct {
 	// Emit error cancels the run and is returned. This is how a tsdb.Writer
 	// (whose Append requires per-map chronological order) taps the pipeline.
 	Emit func(*wmap.Map) error
+
+	// EmitFrom, when non-zero and Emit is set, skips every snapshot at or
+	// before it entirely — no processing, no YAML load-back, no emission.
+	// A follow-mode ingester sets it to the archive's last appended time
+	// each poll cycle, so the incremental cost of a cycle is proportional
+	// to the snapshots that actually arrived, not to the whole corpus.
+	EmitFrom time.Time
 }
 
 func (o ProcessOptions) workers() int {
@@ -75,6 +84,11 @@ func (s *Store) ProcessMapParallel(ctx context.Context, id wmap.MapID, opt Proce
 	}
 	if err := ctx.Err(); err != nil {
 		return rep, err
+	}
+	if opt.Emit != nil && !opt.EmitFrom.IsZero() {
+		// Entries are chronological: drop the prefix the emitter already has.
+		lo := sort.Search(len(entries), func(i int) bool { return entries[i].Time.After(opt.EmitFrom) })
+		entries = entries[lo:]
 	}
 	total := len(entries)
 	workers := opt.workers()

@@ -15,10 +15,15 @@ const DefaultBlockCacheBytes = 64 << 20
 // sees while wasting little budget granularity.
 const cacheShards = 16
 
-// cacheKey identifies one decoded-block variant: the owning archive (by
-// fingerprint, so one cache may serve several readers), the block index,
-// and the column group — allColumns for a fully decoded block, otherwise
-// the link index whose two directed columns were decoded.
+/// cacheKey identifies one decoded-block variant: the owning archive (by
+// the reader's open-time fingerprint, so one cache may serve several
+// readers), the block index, and the column group — allColumns for a fully
+// decoded block, otherwise the link index whose two directed columns were
+// decoded. The archive component deliberately does NOT roll with Refresh:
+// a live archive only ever appends, so block index bi keeps naming the same
+// immutable bytes as the archive grows, and entries decoded before a
+// refresh stay valid after it (Refresh rejects non-extensions with
+// ErrArchiveReplaced precisely to protect this invariant).
 type cacheKey struct {
 	arch  uint64
 	block int

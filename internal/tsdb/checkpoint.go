@@ -1,0 +1,139 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io/fs"
+	"os"
+)
+
+// The live-archive commit protocol.
+//
+// A batch archive becomes readable only at Close, when the footer and tail
+// land. A live archive (Writer opened with OpenAppend) instead publishes a
+// durable commit record after every flushed block: a sidecar checkpoint
+// file next to the archive holding the committed data length ("everything
+// before this offset is valid, everything after is an uncommitted tail"),
+// a monotonic commit version, and a full footer payload — the same string
+// table / topology dictionary / block index bytes Close would write — so
+// both a recovering writer and a tailing reader reconstruct the committed
+// state without scanning the data file.
+//
+// Ordering makes the protocol crash-safe: block bytes are flushed and
+// fsynced to the data file BEFORE the checkpoint is replaced (write-ahead),
+// and the checkpoint itself is replaced atomically (temp file + rename).
+// A crash therefore leaves either the old checkpoint (the new tail is
+// simply not committed yet and is truncated on recovery) or the new one
+// (the tail is fully durable). The data file's committed prefix is never
+// rewritten, which is also what gives concurrent readers snapshot
+// isolation: every offset a published checkpoint covers holds immutable
+// bytes forever.
+//
+// Close still writes the standard footer and deletes the checkpoint, so a
+// cleanly closed live archive is byte-for-byte a normal batch archive.
+
+// ckptMagic heads a checkpoint sidecar file.
+const ckptMagic = "wmtsckp\n"
+
+// ckptHeaderLen is the fixed checkpoint prefix: magic, u64 dataEnd,
+// u64 version, u32 CRC32(payload), u64 payloadLen.
+const ckptHeaderLen = len(ckptMagic) + 8 + 8 + 4 + 8
+
+// CheckpointPath returns the sidecar commit file the live-append protocol
+// maintains next to an archive.
+func CheckpointPath(archivePath string) string { return archivePath + ".ckpt" }
+
+// checkpoint is one decoded commit record.
+type checkpoint struct {
+	dataEnd int64  // committed length of the archive data file
+	version uint64 // monotonic commit counter, starts at 1
+	payload []byte // footer payload: strings, topologies, block index
+}
+
+// fingerprintState derives the archive fingerprint of a committed state:
+// FNV-1a over the data length and the footer payload — the same formula for
+// a closed footer and a live checkpoint, so the fingerprint (and with it
+// every ETag) rolls forward exactly when committed content changes.
+func fingerprintState(dataEnd int64, payload []byte) uint64 {
+	h := fnv.New64a()
+	var szb [8]byte
+	binary.LittleEndian.PutUint64(szb[:], uint64(dataEnd))
+	h.Write(szb[:])
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// readCheckpoint loads and validates a commit record. A missing file
+// returns an error wrapping fs.ErrNotExist; anything structurally invalid
+// is a *CorruptError — a checkpoint is replaced atomically, so a damaged
+// one is real corruption, not a torn write to ignore.
+func readCheckpoint(path string) (*checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("tsdb: %w", err)
+		}
+		return nil, fmt.Errorf("tsdb: checkpoint: %w", err)
+	}
+	if len(data) < ckptHeaderLen {
+		return nil, corruptf(0, "checkpoint of %d bytes is shorter than the %d-byte header", len(data), ckptHeaderLen)
+	}
+	if string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, corruptf(0, "bad checkpoint magic %q", data[:len(ckptMagic)])
+	}
+	p := len(ckptMagic)
+	dataEnd := binary.LittleEndian.Uint64(data[p:])
+	version := binary.LittleEndian.Uint64(data[p+8:])
+	sum := binary.LittleEndian.Uint32(data[p+16:])
+	plen := binary.LittleEndian.Uint64(data[p+20:])
+	payload := data[ckptHeaderLen:]
+	if plen != uint64(len(payload)) {
+		return nil, corruptf(int64(p+20), "checkpoint payload length %d disagrees with the %d bytes present", plen, len(payload))
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, corruptf(int64(ckptHeaderLen), "checkpoint payload checksum mismatch")
+	}
+	if dataEnd > uint64(1)<<62 || int64(dataEnd) < int64(len(headerMagic)) {
+		return nil, corruptf(int64(p), "checkpoint data end %d impossible", dataEnd)
+	}
+	if version == 0 {
+		return nil, corruptf(int64(p+8), "checkpoint version 0")
+	}
+	return &checkpoint{dataEnd: int64(dataEnd), version: version, payload: payload}, nil
+}
+
+// writeCheckpoint atomically replaces the commit record: the new record is
+// written to a temp file, fsynced, and renamed over the old one. The caller
+// must have already flushed and fsynced the data file up to dataEnd.
+func writeCheckpoint(path string, dataEnd int64, version uint64, payload []byte) error {
+	buf := make([]byte, 0, ckptHeaderLen+len(payload))
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(dataEnd))
+	buf = binary.LittleEndian.AppendUint64(buf, version)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return fmt.Errorf("tsdb: checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tsdb: checkpoint: %w", err)
+	}
+	return nil
+}

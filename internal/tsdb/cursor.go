@@ -33,7 +33,12 @@ import (
 // returning false) closes implicitly, so Close only matters for abandoned
 // iterations.
 type Cursor struct {
-	r          *Reader
+	r *Reader
+	// st is the committed state the cursor opened with. Pinning it here is
+	// what gives cursors snapshot isolation on a live archive: a concurrent
+	// Refresh swaps the reader's state pointer, but this cursor keeps
+	// iterating exactly the blocks (all immutable) its snapshot indexed.
+	st         *readerState
 	ids        []int // overlapping block indexes, chronological
 	fromU, toU int64
 	bi         int
@@ -56,9 +61,11 @@ type Cursor struct {
 // the map's block count.
 func (r *Reader) Cursor(id wmap.MapID, from, to time.Time) *Cursor {
 	fromU, toU := rangeBounds(from, to)
+	st := r.st()
 	return &Cursor{
 		r:     r,
-		ids:   r.blockRange(id, fromU, toU),
+		st:    st,
+		ids:   st.blockRange(id, fromU, toU),
 		fromU: fromU,
 		toU:   toU,
 	}
@@ -94,7 +101,7 @@ func (c *Cursor) nextBlock() (ok bool) {
 		if c.out == nil {
 			ctx, cancel := context.WithCancel(c.ctx)
 			c.cancel = cancel
-			c.out = c.r.startReadAhead(ctx, c.ids, func(int) int { return allColumns }, c.workers)
+			c.out = c.r.startReadAhead(ctx, c.st, c.ids, func(int) int { return allColumns }, c.workers)
 		}
 		res, open := <-c.out
 		if !open {
@@ -113,7 +120,7 @@ func (c *Cursor) nextBlock() (ok bool) {
 	if c.bi >= len(c.ids) {
 		return false
 	}
-	db, err := c.r.block(c.ids[c.bi], allColumns)
+	db, err := c.r.block(c.st, c.ids[c.bi], allColumns)
 	if err != nil {
 		c.err = err
 		return false
@@ -166,7 +173,7 @@ func (c *Cursor) Close() {
 
 // Map returns the snapshot Next advanced to, freshly materialized: the
 // caller owns it and may retain or mutate it.
-func (c *Cursor) Map() *wmap.Map { return c.r.materialize(c.vdb, c.vpi) }
+func (c *Cursor) Map() *wmap.Map { return materialize(c.st, c.vdb, c.vpi) }
 
 // MapView returns the snapshot Next advanced to, backed by cursor-owned
 // scratch storage: zero steady-state allocations, built for full-corpus
@@ -177,7 +184,7 @@ func (c *Cursor) MapView() *wmap.Map {
 	if c.scratch == nil {
 		c.scratch = &wmap.Map{}
 	}
-	c.r.materializeInto(c.vdb, c.vpi, c.scratch)
+	materializeInto(c.st, c.vdb, c.vpi, c.scratch)
 	return c.scratch
 }
 

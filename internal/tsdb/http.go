@@ -30,13 +30,15 @@ import (
 // stats.TimeSeries.Resample. Link ids come from the topology endpoint and
 // stay stable across snapshots (LinkKey.ID).
 //
-// The archive is immutable for the life of the handler, so every data
-// endpoint carries an ETag derived from the archive fingerprint and the
-// resolved query, honors If-None-Match with 304, and sets Cache-Control —
-// explicit historical queries are marked immutable so proxies stop
-// re-fetching history. The hot endpoints (load series, imbalance) encode
-// into pooled buffers instead of a per-request json.Encoder and send
-// Content-Length.
+// Every data endpoint carries an ETag derived from the archive fingerprint
+// and the resolved query, honors If-None-Match with 304, and sets
+// Cache-Control — explicit historical queries are marked immutable so
+// proxies stop re-fetching history. The fingerprint identifies the exact
+// committed state being served: on a live archive it rolls forward with
+// every Reader.Refresh that adopts appended blocks, so a stale client tag
+// stops matching and the client re-fetches the grown data. The hot
+// endpoints (load series, imbalance) encode into pooled buffers instead of
+// a per-request json.Encoder and send Content-Length.
 
 // DefaultMaxResponsePoints caps the raw series points one load response
 // may carry; ranges that would exceed it are rejected with a hint to
@@ -473,17 +475,45 @@ func (a *api) handleImbalance(w http.ResponseWriter, r *http.Request) {
 	putEncBuf(bp)
 }
 
+// coveredRange is one map's archived time span on the stats endpoint — how
+// a live tail advertises what a follower may query right now.
+type coveredRange struct {
+	Map       wmap.MapID `json:"map"`
+	From      time.Time  `json:"from"`
+	To        time.Time  `json:"to"`
+	Snapshots int        `json:"snapshots"`
+}
+
 func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
-	s := a.rd.Stats()
+	// Pin one committed state so every figure in the response — totals,
+	// fingerprint, covered ranges — describes the same commit even while a
+	// Refresh lands mid-request.
+	st := a.rd.st()
+	snapshots := 0
+	for i := range st.blocks {
+		snapshots += st.blocks[i].points
+	}
+	covered := make([]coveredRange, 0, len(st.mapIDs))
+	for _, id := range st.mapIDs {
+		from, to, _ := st.bounds(id)
+		n := 0
+		for _, bi := range st.perMap[id] {
+			n += st.blocks[bi].points
+		}
+		covered = append(covered, coveredRange{Map: id, From: from, To: to, Snapshots: n})
+	}
 	cs := a.rd.BlockCache().Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"archive": map[string]any{
-			"fingerprint": strconv.FormatUint(a.rd.Fingerprint(), 16),
-			"blocks":      s.Blocks,
-			"snapshots":   s.Snapshots,
-			"topologies":  s.Topologies,
-			"strings":     s.Strings,
-			"bytes":       s.Bytes,
+			"fingerprint": strconv.FormatUint(st.fp, 16),
+			"live":        st.live,
+			"version":     st.version,
+			"blocks":      len(st.blocks),
+			"snapshots":   snapshots,
+			"topologies":  len(st.topos),
+			"strings":     len(st.strs),
+			"bytes":       st.size,
+			"covered":     covered,
 		},
 		"block_cache": map[string]any{
 			"enabled": a.rd.BlockCache() != nil,

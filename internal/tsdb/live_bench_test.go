@@ -1,0 +1,139 @@
+package tsdb
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ovhweather/internal/wmap"
+)
+
+// Benchmarks for the live-append path: appender throughput at the two
+// commit cadences the tools use (wmparse -follow commits per poll cycle,
+// i.e. roughly per block; wmcollect can commit per snapshot), and the
+// tailing reader's Refresh cost both when nothing changed (every idle poll)
+// and when a commit is adopted. Run with:
+//
+//	go test -run xxx -bench BenchmarkLiveAppend -benchmem ./internal/tsdb/
+//	go test -run xxx -bench BenchmarkRefresh -benchtime 500x -benchmem ./internal/tsdb/
+func BenchmarkLiveAppend(b *testing.B) {
+	for _, c := range []struct {
+		name  string
+		every int
+	}{
+		{"commit-per-block", 64},
+		{"commit-per-snapshot", 1},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "bench.tsdb")
+			w, err := OpenAppend(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.SetBlockPoints(64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(seqMapB(wmap.Europe, i)); err != nil {
+					b.Fatal(err)
+				}
+				if (i+1)%c.every == 0 {
+					if err := w.Sync(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// seqMapB is seqMap without the testing.T plumbing, usable from benchmarks.
+func seqMapB(id wmap.MapID, i int) *wmap.Map {
+	return testMap(id, time.Date(2020, 7, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i)*5*time.Minute),
+		i%101, (2*i)%101, (3*i)%101, (5*i)%101, (7*i)%101, (11*i)%101)
+}
+
+func BenchmarkRefresh(b *testing.B) {
+	// noop: the steady-state cost of a poll that finds no new commit —
+	// one checkpoint read plus a fingerprint compare.
+	b.Run("noop", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "bench.tsdb")
+		w, err := OpenAppend(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.SetBlockPoints(16)
+		for i := 0; i < 512; i++ {
+			if err := w.Append(seqMapB(wmap.Europe, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		rd, err := OpenFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rd.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			changed, err := rd.Refresh()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if changed {
+				b.Fatal("refresh adopted a commit that never happened")
+			}
+		}
+	})
+
+	// adopt: the cost of adopting a freshly committed snapshot — reread
+	// the checkpoint, reparse the footer, validate the extension, publish
+	// the new state. The append+Sync feeding each iteration is untimed.
+	b.Run("adopt", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "bench.tsdb")
+		w, err := OpenAppend(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.SetBlockPoints(1) // every snapshot is a full block: every Sync commits
+		if err := w.Append(seqMapB(wmap.Europe, 0)); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		rd, err := OpenFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rd.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if err := w.Append(seqMapB(wmap.Europe, i+1)); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			changed, err := rd.Refresh()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !changed {
+				b.Fatal("refresh missed a commit")
+			}
+		}
+	})
+}

@@ -31,7 +31,7 @@ const readAheadSlack = 2
 // consumer must check ctx.Err() to tell natural completion from
 // cancellation. After an error result the channel closes — later blocks
 // are not delivered.
-func (r *Reader) startReadAhead(ctx context.Context, ids []int, group func(i int) int, workers int) <-chan fetchResult {
+func (r *Reader) startReadAhead(ctx context.Context, st *readerState, ids []int, group func(i int) int, workers int) <-chan fetchResult {
 	if workers < 1 {
 		workers = 1
 	}
@@ -69,7 +69,7 @@ func (r *Reader) startReadAhead(ctx context.Context, ids []int, group func(i int
 				if ctx.Err() != nil {
 					return
 				}
-				db, err := r.block(ids[i], group(i))
+				db, err := r.block(st, ids[i], group(i))
 				slots[i] <- fetchResult{db: db, err: err}
 			}
 		}()

@@ -124,7 +124,7 @@ func TestCursorParallelPropagatesCorruption(t *testing.T) {
 	data := buildArchive(t, 3, maps...)
 	// Corrupt the last block's payload: find it via a clean reader.
 	clean := openArchive(t, data)
-	last := clean.blocks[len(clean.blocks)-1]
+	last := clean.st().blocks[len(clean.st().blocks)-1]
 	mut := append([]byte(nil), data...)
 	mut[last.offset+4] ^= 0xFF
 

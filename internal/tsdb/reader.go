@@ -3,40 +3,74 @@ package tsdb
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
-	"hash/fnv"
 	"io"
+	"io/fs"
 	"math"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ovhweather/internal/stats"
 	"ovhweather/internal/wmap"
 )
 
-// Reader serves queries over one archive. Opening parses only the footer —
-// string table, topology dictionary, block index; block payloads are read
-// and decoded on demand, so a point or range query touches O(log n) index
-// entries plus the overlapping blocks. A Reader is safe for concurrent use:
-// all parsed state is immutable after open.
+// Reader serves queries over one archive. Opening parses only the commit
+// metadata — string table, topology dictionary, block index — from the
+// footer of a closed archive or the checkpoint sidecar of a live one;
+// block payloads are read and decoded on demand, so a point or range query
+// touches O(log n) index entries plus the overlapping blocks.
+//
+// A Reader is safe for concurrent use. All parsed metadata lives in an
+// immutable readerState behind an atomic pointer: queries pin the state
+// once on entry, and Refresh atomically swaps in a newer committed state
+// without invalidating anything in flight — a Cursor keeps iterating the
+// exact snapshot of the archive it opened with (snapshot isolation), while
+// the next query observes the extended prefix. The committed block region
+// of a live archive is append-only, so blocks referenced by an old state
+// remain valid bytes forever.
 type Reader struct {
 	r      io.ReaderAt
-	size   int64
+	f      *os.File // non-nil when opened from a file; enables Refresh
+	path   string
 	closer io.Closer
 
-	strs   []string
-	topos  []*topology
-	blocks []blockMeta
-	perMap map[wmap.MapID][]int // block indexes, chronological
-	mapIDs []wmap.MapID
-	fp     uint64 // archive fingerprint: FNV-1a over size and footer bytes
+	// cacheID keys the decoded-block cache. It is the fingerprint of the
+	// state the reader OPENED with and never changes across Refresh: block
+	// index bi always denotes the same immutable bytes in an append-only
+	// archive, so decoded blocks stay valid as the archive grows — only
+	// the ETag-facing Fingerprint rolls forward.
+	cacheID uint64
 
 	// cache, when set, holds immutable decoded blocks shared across
 	// queries and readers; see SetBlockCache.
 	cache *BlockCache
+
+	// refreshMu serializes Refresh so two concurrent refreshes cannot
+	// publish states out of order (the older one clobbering the newer).
+	// Queries never take it — they only load the atomic pointer.
+	refreshMu sync.Mutex
+	state     atomic.Pointer[readerState]
+}
+
+// readerState is one committed view of the archive: everything parsed from
+// a footer or checkpoint plus the derived lookup structures. Instances are
+// immutable after buildState (the lazily built link directory is guarded by
+// its own sync.Once) and shared freely between goroutines.
+type readerState struct {
+	size    int64 // readable byte bound: file size (closed) or dataEnd (live)
+	strs    []string
+	topos   []*topology
+	blocks  []blockMeta
+	perMap  map[wmap.MapID][]int // block indexes, chronological
+	mapIDs  []wmap.MapID
+	fp      uint64 // fingerprint: FNV-1a over size and footer/checkpoint payload
+	version uint64 // checkpoint commit version; 0 when parsed from a footer
+	live    bool   // state came from a checkpoint (archive may still grow)
 
 	linkDirOnce sync.Once
 	linkDir     map[string]linkAddr
@@ -48,35 +82,117 @@ type linkAddr struct {
 	key   LinkKey
 }
 
-// OpenFile opens an archive file for querying.
+// st returns the current committed state; callers pin it once per
+// operation so one query never mixes two commit views.
+func (r *Reader) st() *readerState { return r.state.Load() }
+
+// OpenFile opens an archive file for querying: a closed archive through
+// its footer, or a live (still-appending) archive through its checkpoint
+// sidecar, whichever the commit protocol left behind. Use Refresh to adopt
+// blocks committed after the open.
 func OpenFile(path string) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("tsdb: %w", err)
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("tsdb: %w", err)
-	}
-	r, err := NewReader(f, st.Size())
+	rd := &Reader{r: f, f: f, path: path, closer: f}
+	st, err := rd.loadFileState()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	r.closer = f
-	return r, nil
+	rd.cacheID = st.fp
+	rd.state.Store(st)
+	return rd, nil
 }
 
-// NewReader opens an archive held by any io.ReaderAt. Structural problems
-// — bad magic, truncation, checksum failures, impossible field values —
-// return a *CorruptError; NewReader never panics on arbitrary input.
+// NewReader opens a closed archive held by any io.ReaderAt. Structural
+// problems — bad magic, truncation, checksum failures, impossible field
+// values — return a *CorruptError; NewReader never panics on arbitrary
+// input. Readers opened this way have no file to watch, so Refresh is
+// unavailable.
 func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
-	rd := &Reader{r: r, size: size, perMap: make(map[wmap.MapID][]int)}
-	if err := rd.parse(); err != nil {
+	st, err := parseClosed(r, size)
+	if err != nil {
 		return nil, err
 	}
+	rd := &Reader{r: r, cacheID: st.fp}
+	rd.state.Store(st)
 	return rd, nil
+}
+
+// loadFileState reads the current committed state of the file: the
+// checkpoint sidecar when the live-append protocol maintains one, else the
+// footer of the closed archive.
+func (r *Reader) loadFileState() (*readerState, error) {
+	ck, err := readCheckpoint(CheckpointPath(r.path))
+	switch {
+	case err == nil:
+		fi, serr := r.f.Stat()
+		if serr != nil {
+			return nil, fmt.Errorf("tsdb: %w", serr)
+		}
+		if fi.Size() < ck.dataEnd {
+			return nil, corruptf(fi.Size(), "archive holds %d bytes but the checkpoint committed %d — committed data lost", fi.Size(), ck.dataEnd)
+		}
+		head, herr := readAtFull(r.r, ck.dataEnd, 0, len(headerMagic))
+		if herr != nil {
+			return nil, herr
+		}
+		if string(head) != headerMagic {
+			return nil, corruptf(0, "bad header magic %q", head)
+		}
+		fd, perr := parseFooterData(ck.payload, 0, ck.dataEnd)
+		if perr != nil {
+			return nil, perr
+		}
+		return buildState(fd, ck.dataEnd, fingerprintState(ck.dataEnd, ck.payload), ck.version, true)
+	case errors.Is(err, fs.ErrNotExist):
+		fi, serr := r.f.Stat()
+		if serr != nil {
+			return nil, fmt.Errorf("tsdb: %w", serr)
+		}
+		return parseClosed(r.r, fi.Size())
+	default:
+		return nil, err
+	}
+}
+
+// Refresh re-reads the archive's durable commit state and, when it has
+// advanced, atomically adopts the new committed prefix: subsequent queries
+// see the added blocks, the fingerprint (and every ETag derived from it)
+// rolls forward, and cursors or scans already running keep their opened
+// snapshot untouched. It reports whether anything changed.
+//
+// Refresh verifies the new state is a strict extension of the current one
+// — same blocks, same offsets, only appended entries — and refuses with
+// ErrArchiveReplaced otherwise, because a rewritten file would silently
+// invalidate decoded-block cache entries and pinned cursors. Replacing an
+// archive wholesale requires a fresh Reader.
+func (r *Reader) Refresh() (changed bool, err error) {
+	if r.f == nil {
+		return false, errors.New("tsdb: reader was not opened from a file; Refresh unavailable")
+	}
+	r.refreshMu.Lock()
+	defer r.refreshMu.Unlock()
+	ns, err := r.loadFileState()
+	if err != nil {
+		return false, err
+	}
+	cur := r.st()
+	if ns.fp == cur.fp {
+		return false, nil
+	}
+	if len(ns.blocks) < len(cur.blocks) || len(ns.strs) < len(cur.strs) || len(ns.topos) < len(cur.topos) {
+		return false, ErrArchiveReplaced
+	}
+	for i := range cur.blocks {
+		if ns.blocks[i] != cur.blocks[i] {
+			return false, ErrArchiveReplaced
+		}
+	}
+	r.state.Store(ns)
+	return true, nil
 }
 
 // Close releases the underlying file when the reader owns one.
@@ -87,131 +203,171 @@ func (r *Reader) Close() error {
 	return nil
 }
 
-// readAt fetches an exact byte range, mapping any shortfall to corruption.
-func (r *Reader) readAt(off int64, n int) ([]byte, error) {
-	if off < 0 || n < 0 || off+int64(n) > r.size {
-		return nil, corruptf(off, "read of %d bytes beyond archive size %d", n, r.size)
+// readAtFull fetches an exact byte range below size, mapping any shortfall
+// to corruption.
+func readAtFull(r io.ReaderAt, size, off int64, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+int64(n) > size {
+		return nil, corruptf(off, "read of %d bytes beyond archive size %d", n, size)
 	}
 	buf := make([]byte, n)
-	if _, err := r.r.ReadAt(buf, off); err != nil {
+	if _, err := r.ReadAt(buf, off); err != nil {
 		return nil, corruptf(off, "short read: %v", err)
 	}
 	return buf, nil
 }
 
-func (r *Reader) parse() error {
+// readClosedFooter validates a closed archive's framing — header magic,
+// tail magic, footer checksum — and returns the raw footer payload and its
+// file offset (which is also where the data section ends). OpenAppend uses
+// it too, to turn a closed archive's footer back into a live checkpoint.
+func readClosedFooter(r io.ReaderAt, size int64) (footer []byte, footerStart int64, err error) {
 	minSize := int64(len(headerMagic) + tailLen)
-	if r.size < minSize {
-		return corruptf(0, "archive of %d bytes is shorter than the %d-byte minimum", r.size, minSize)
+	if size < minSize {
+		return nil, 0, corruptf(0, "archive of %d bytes is shorter than the %d-byte minimum", size, minSize)
 	}
-	head, err := r.readAt(0, len(headerMagic))
+	head, err := readAtFull(r, size, 0, len(headerMagic))
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	if string(head) != headerMagic {
-		return corruptf(0, "bad header magic %q", head)
+		return nil, 0, corruptf(0, "bad header magic %q", head)
 	}
-	tail, err := r.readAt(r.size-int64(tailLen), tailLen)
+	tail, err := readAtFull(r, size, size-int64(tailLen), tailLen)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	if string(tail[12:]) != tailMagic {
-		return corruptf(r.size-8, "bad tail magic %q (archive not closed?)", tail[12:])
+		return nil, 0, corruptf(size-8, "bad tail magic %q (archive not closed?)", tail[12:])
 	}
 	footerLen := binary.LittleEndian.Uint64(tail[4:12])
-	footerStart := r.size - int64(tailLen) - int64(footerLen)
+	footerStart = size - int64(tailLen) - int64(footerLen)
 	if footerLen > math.MaxInt32 || footerStart < int64(len(headerMagic)) {
-		return corruptf(r.size-16, "footer length %d exceeds archive", footerLen)
+		return nil, 0, corruptf(size-16, "footer length %d exceeds archive", footerLen)
 	}
-	footer, err := r.readAt(footerStart, int(footerLen))
+	footer, err = readAtFull(r, size, footerStart, int(footerLen))
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	if sum := crc32.ChecksumIEEE(footer); sum != binary.LittleEndian.Uint32(tail[:4]) {
-		return corruptf(footerStart, "footer checksum mismatch")
+		return nil, 0, corruptf(footerStart, "footer checksum mismatch")
 	}
-	fh := fnv.New64a()
-	var szb [8]byte
-	binary.LittleEndian.PutUint64(szb[:], uint64(r.size))
-	fh.Write(szb[:])
-	fh.Write(footer)
-	r.fp = fh.Sum64()
-	return r.parseFooter(&dec{b: footer, off: footerStart}, footerStart)
+	return footer, footerStart, nil
 }
 
-func (r *Reader) parseFooter(d *dec, footerStart int64) error {
+// parseClosed parses the footer-driven (closed) archive form into a state.
+func parseClosed(r io.ReaderAt, size int64) (*readerState, error) {
+	footer, footerStart, err := readClosedFooter(r, size)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := parseFooterData(footer, footerStart, footerStart)
+	if err != nil {
+		return nil, err
+	}
+	return buildState(fd, size, fingerprintState(size, footer), 0, false)
+}
+
+// footerData is the raw parsed content of a footer or checkpoint payload.
+type footerData struct {
+	strs   []string
+	topos  []*topology
+	blocks []blockMeta
+}
+
+// parseFooterData decodes a footer payload: the string table, the
+// prefix-delta topology dictionary, and the block index. payloadOff is the
+// file offset of the payload's first byte (for error positions); dataEnd
+// bounds every block frame.
+func parseFooterData(payload []byte, payloadOff, dataEnd int64) (*footerData, error) {
+	d := &dec{b: payload, off: payloadOff}
+	fd := &footerData{}
 	nstr, err := d.count("string table")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	r.strs = make([]string, 0, nstr)
+	fd.strs = make([]string, 0, nstr)
 	for i := 0; i < nstr; i++ {
 		slen, err := d.uvarint("string length")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if slen > uint64(d.remaining()) {
-			return corruptf(d.abs(), "string of %d bytes exceeds %d remaining", slen, d.remaining())
+			return nil, corruptf(d.abs(), "string of %d bytes exceeds %d remaining", slen, d.remaining())
 		}
 		b, err := d.bytes(int(slen), "string")
 		if err != nil {
-			return err
+			return nil, err
 		}
-		r.strs = append(r.strs, string(b))
+		fd.strs = append(fd.strs, string(b))
 	}
 
 	ntopo, err := d.count("topology table")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var prev *topology
-	r.topos = make([]*topology, 0, ntopo)
+	fd.topos = make([]*topology, 0, ntopo)
 	for i := 0; i < ntopo; i++ {
-		t, err := r.parseTopology(d, prev)
+		t, err := fd.parseTopology(d, prev)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		r.topos = append(r.topos, t)
+		fd.topos = append(fd.topos, t)
 		prev = t
 	}
 
 	nblk, err := d.count("block index")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	r.blocks = make([]blockMeta, 0, nblk)
+	fd.blocks = make([]blockMeta, 0, nblk)
 	for i := 0; i < nblk; i++ {
-		m, err := r.parseBlockMeta(d, footerStart)
+		m, err := fd.parseBlockMeta(d, dataEnd)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		r.blocks = append(r.blocks, m)
+		fd.blocks = append(fd.blocks, m)
 	}
 	if d.remaining() != 0 {
-		return corruptf(d.abs(), "%d trailing bytes after footer", d.remaining())
+		return nil, corruptf(d.abs(), "%d trailing bytes after footer", d.remaining())
 	}
+	return fd, nil
+}
 
-	for i := range r.blocks {
-		id := wmap.MapID(r.strs[r.blocks[i].mapRef])
-		r.perMap[id] = append(r.perMap[id], i)
+// buildState derives the query-side lookup structures from parsed footer
+// data and validates the cross-block invariants.
+func buildState(fd *footerData, size int64, fp, version uint64, live bool) (*readerState, error) {
+	st := &readerState{
+		size:    size,
+		strs:    fd.strs,
+		topos:   fd.topos,
+		blocks:  fd.blocks,
+		perMap:  make(map[wmap.MapID][]int),
+		fp:      fp,
+		version: version,
+		live:    live,
 	}
-	for id, bl := range r.perMap {
-		sort.Slice(bl, func(a, b int) bool { return r.blocks[bl[a]].baseUnix < r.blocks[bl[b]].baseUnix })
+	for i := range st.blocks {
+		id := wmap.MapID(st.strs[st.blocks[i].mapRef])
+		st.perMap[id] = append(st.perMap[id], i)
+	}
+	for id, bl := range st.perMap {
+		sort.Slice(bl, func(a, b int) bool { return st.blocks[bl[a]].baseUnix < st.blocks[bl[b]].baseUnix })
 		for k := 1; k < len(bl); k++ {
-			prev, cur := &r.blocks[bl[k-1]], &r.blocks[bl[k]]
+			prev, cur := &st.blocks[bl[k-1]], &st.blocks[bl[k]]
 			if cur.baseUnix <= prev.lastUnix {
-				return corruptf(cur.offset, "map %s blocks overlap in time", id)
+				return nil, corruptf(cur.offset, "map %s blocks overlap in time", id)
 			}
 		}
-		r.mapIDs = append(r.mapIDs, id)
+		st.mapIDs = append(st.mapIDs, id)
 	}
-	sort.Slice(r.mapIDs, func(a, b int) bool { return r.mapIDs[a] < r.mapIDs[b] })
-	return nil
+	sort.Slice(st.mapIDs, func(a, b int) bool { return st.mapIDs[a] < st.mapIDs[b] })
+	return st, nil
 }
 
 // parseTopology decodes one prefix-delta dictionary entry: the leading
 // nodes and links shared with the previous entry, then the new rows.
-func (r *Reader) parseTopology(d *dec, prev *topology) (*topology, error) {
+func (fd *footerData) parseTopology(d *dec, prev *topology) (*topology, error) {
 	np, err := d.uvarint("node prefix")
 	if err != nil {
 		return nil, err
@@ -236,8 +392,8 @@ func (r *Reader) parseTopology(d *dec, prev *topology) (*topology, error) {
 		if err != nil {
 			return nil, err
 		}
-		if ref >= uint64(len(r.strs)) {
-			return nil, corruptf(d.abs(), "node name ref %d outside string table of %d", ref, len(r.strs))
+		if ref >= uint64(len(fd.strs)) {
+			return nil, corruptf(d.abs(), "node name ref %d outside string table of %d", ref, len(fd.strs))
 		}
 		kb, err := d.byte("node kind")
 		if err != nil {
@@ -251,7 +407,7 @@ func (r *Reader) parseTopology(d *dec, prev *topology) (*topology, error) {
 		default:
 			return nil, corruptf(d.abs(), "unknown node kind byte %d", kb)
 		}
-		t.nodes = append(t.nodes, wmap.Node{Name: r.strs[ref], Kind: kind})
+		t.nodes = append(t.nodes, wmap.Node{Name: fd.strs[ref], Kind: kind})
 	}
 
 	lp, err := d.uvarint("link prefix")
@@ -276,20 +432,20 @@ func (r *Reader) parseTopology(d *dec, prev *topology) (*topology, error) {
 			if err != nil {
 				return nil, err
 			}
-			if ref >= uint64(len(r.strs)) {
-				return nil, corruptf(d.abs(), "link string ref %d outside string table of %d", ref, len(r.strs))
+			if ref >= uint64(len(fd.strs)) {
+				return nil, corruptf(d.abs(), "link string ref %d outside string table of %d", ref, len(fd.strs))
 			}
 			refs[j] = ref
 		}
 		t.links = append(t.links, wmap.Link{
-			A: r.strs[refs[0]], B: r.strs[refs[1]],
-			LabelA: r.strs[refs[2]], LabelB: r.strs[refs[3]],
+			A: fd.strs[refs[0]], B: fd.strs[refs[1]],
+			LabelA: fd.strs[refs[2]], LabelB: fd.strs[refs[3]],
 		})
 	}
 	return t, nil
 }
 
-func (r *Reader) parseBlockMeta(d *dec, footerStart int64) (blockMeta, error) {
+func (fd *footerData) parseBlockMeta(d *dec, dataEnd int64) (blockMeta, error) {
 	var m blockMeta
 	var raw [8]uint64
 	for i := range raw {
@@ -308,19 +464,19 @@ func (r *Reader) parseBlockMeta(d *dec, footerStart int64) (blockMeta, error) {
 	m.points = int(raw[6])
 	m.links = int(raw[7])
 	switch {
-	case m.mapRef >= uint64(len(r.strs)):
-		return m, corruptf(d.abs(), "block map ref %d outside string table of %d", m.mapRef, len(r.strs))
-	case raw[3] >= uint64(len(r.topos)):
-		return m, corruptf(d.abs(), "block topology index %d outside table of %d", raw[3], len(r.topos))
-	case m.links != len(r.topos[m.topoIndex].links):
+	case m.mapRef >= uint64(len(fd.strs)):
+		return m, corruptf(d.abs(), "block map ref %d outside string table of %d", m.mapRef, len(fd.strs))
+	case raw[3] >= uint64(len(fd.topos)):
+		return m, corruptf(d.abs(), "block topology index %d outside table of %d", raw[3], len(fd.topos))
+	case m.links != len(fd.topos[m.topoIndex].links):
 		return m, corruptf(d.abs(), "block link count %d disagrees with topology's %d",
-			m.links, len(r.topos[m.topoIndex].links))
+			m.links, len(fd.topos[m.topoIndex].links))
 	case m.points < 1:
 		return m, corruptf(d.abs(), "block with %d points", m.points)
 	case raw[4] > maxUnixSeconds || m.lastUnix < m.baseUnix:
 		return m, corruptf(d.abs(), "block time range [%d, %d] invalid", m.baseUnix, m.lastUnix)
 	case m.offset < int64(len(headerMagic)) || raw[2] > math.MaxInt32 ||
-		m.offset+int64(frameOverhead)+int64(m.payloadLen) > footerStart:
+		m.offset+int64(frameOverhead)+int64(m.payloadLen) > dataEnd:
 		return m, corruptf(d.abs(), "block frame [%d, +%d] outside data section", m.offset, m.payloadLen)
 	}
 	return m, nil
@@ -328,51 +484,68 @@ func (r *Reader) parseBlockMeta(d *dec, footerStart int64) (blockMeta, error) {
 
 // Maps lists the archived map ids in lexicographic order.
 func (r *Reader) Maps() []wmap.MapID {
-	return append([]wmap.MapID(nil), r.mapIDs...)
+	st := r.st()
+	return append([]wmap.MapID(nil), st.mapIDs...)
 }
 
 // Bounds returns a map's first and last snapshot times.
 func (r *Reader) Bounds(id wmap.MapID) (from, to time.Time, ok bool) {
-	bl := r.perMap[id]
+	return r.st().bounds(id)
+}
+
+func (st *readerState) bounds(id wmap.MapID) (from, to time.Time, ok bool) {
+	bl := st.perMap[id]
 	if len(bl) == 0 {
 		return time.Time{}, time.Time{}, false
 	}
-	return time.Unix(r.blocks[bl[0]].baseUnix, 0).UTC(),
-		time.Unix(r.blocks[bl[len(bl)-1]].lastUnix, 0).UTC(), true
+	return time.Unix(st.blocks[bl[0]].baseUnix, 0).UTC(),
+		time.Unix(st.blocks[bl[len(bl)-1]].lastUnix, 0).UTC(), true
 }
 
 // Snapshots returns a map's archived snapshot count.
 func (r *Reader) Snapshots(id wmap.MapID) int {
+	st := r.st()
 	n := 0
-	for _, bi := range r.perMap[id] {
-		n += r.blocks[bi].points
+	for _, bi := range st.perMap[id] {
+		n += st.blocks[bi].points
 	}
 	return n
 }
 
-// Stats summarizes the archive.
+// Stats summarizes the archive's current committed state.
 func (r *Reader) Stats() ArchiveStats {
+	st := r.st()
 	s := ArchiveStats{
-		Blocks:     len(r.blocks),
-		Topologies: len(r.topos),
-		Strings:    len(r.strs),
-		Bytes:      r.size,
+		Blocks:     len(st.blocks),
+		Topologies: len(st.topos),
+		Strings:    len(st.strs),
+		Bytes:      st.size,
 	}
-	for i := range r.blocks {
-		s.Snapshots += r.blocks[i].points
+	for i := range st.blocks {
+		s.Snapshots += st.blocks[i].points
 	}
 	return s
 }
 
-// Fingerprint identifies the archive's exact contents: an FNV-1a hash of
-// the file size and footer bytes (which in turn checksum every block).
-// It keys the decoded-block cache and the API's ETags.
-func (r *Reader) Fingerprint() uint64 { return r.fp }
+// Fingerprint identifies the archive's exact committed contents: an FNV-1a
+// hash of the committed size and footer/checkpoint payload (which in turn
+// checksum every block). It keys the API's ETags and rolls forward on
+// every Refresh that adopts new data.
+func (r *Reader) Fingerprint() uint64 { return r.st().fp }
+
+// Version is the commit version of the state being served: the live
+// checkpoint's monotonic counter, or 0 for a closed archive's footer.
+func (r *Reader) Version() uint64 { return r.st().version }
+
+// Live reports whether the reader is serving a live checkpoint — an
+// archive that may still be appended to — rather than a closed footer.
+func (r *Reader) Live() bool { return r.st().live }
 
 // SetBlockCache attaches a decoded-block cache. Set it right after open,
 // before the reader serves concurrent queries; a nil cache disables
-// caching. One cache may back several readers — keys carry the archive
-// fingerprint.
+// caching. One cache may back several readers — keys carry the reader's
+// open-time archive fingerprint, so two readers share entries when they
+// opened the same committed state.
 func (r *Reader) SetBlockCache(c *BlockCache) { r.cache = c }
 
 // BlockCache returns the attached cache, nil when caching is disabled.
@@ -398,30 +571,32 @@ func groupWant(group int) func(ci int) bool {
 	return func(ci int) bool { return ci == 2*group || ci == 2*group+1 }
 }
 
-// block returns block bi with the given column group decoded, through the
-// cache when one is attached. A fully decoded cached block satisfies any
-// group request, so single-link queries ride on blocks a cursor already
-// paid to decode.
-func (r *Reader) block(bi, group int) (*decodedBlock, error) {
+// block returns block bi of st with the given column group decoded,
+// through the cache when one is attached. A fully decoded cached block
+// satisfies any group request, so single-link queries ride on blocks a
+// cursor already paid to decode. Cache keys use the reader's stable
+// cacheID: committed blocks are immutable, so an entry decoded before a
+// Refresh stays correct after it.
+func (r *Reader) block(st *readerState, bi, group int) (*decodedBlock, error) {
 	if r.cache == nil {
-		return r.decodeBlock(bi, groupWant(group))
+		return r.decodeBlock(st, bi, groupWant(group))
 	}
 	if group != allColumns {
-		if db, ok := r.cache.get(cacheKey{arch: r.fp, block: bi, group: allColumns}); ok {
+		if db, ok := r.cache.get(cacheKey{arch: r.cacheID, block: bi, group: allColumns}); ok {
 			return db, nil
 		}
 	}
-	return r.cache.getOrLoad(cacheKey{arch: r.fp, block: bi, group: group}, func() (*decodedBlock, error) {
-		return r.decodeBlock(bi, groupWant(group))
+	return r.cache.getOrLoad(cacheKey{arch: r.cacheID, block: bi, group: group}, func() (*decodedBlock, error) {
+		return r.decodeBlock(st, bi, groupWant(group))
 	})
 }
 
 // decodeBlock reads and decodes one block. want selects load columns by
 // column index (nil means all); unselected columns are skipped without
 // decoding — the columnar payoff for single-link queries.
-func (r *Reader) decodeBlock(bi int, want func(ci int) bool) (*decodedBlock, error) {
-	meta := &r.blocks[bi]
-	frame, err := r.readAt(meta.offset, frameOverhead+meta.payloadLen)
+func (r *Reader) decodeBlock(st *readerState, bi int, want func(ci int) bool) (*decodedBlock, error) {
+	meta := &st.blocks[bi]
+	frame, err := readAtFull(r.r, st.size, meta.offset, frameOverhead+meta.payloadLen)
 	if err != nil {
 		return nil, err
 	}
@@ -539,9 +714,9 @@ func (r *Reader) decodeBlock(bi int, want func(ci int) bool) (*decodedBlock, err
 
 // materialize rebuilds the full snapshot at point pi of a decoded block.
 // The returned map shares no mutable state with the reader.
-func (r *Reader) materialize(db *decodedBlock, pi int) *wmap.Map {
+func materialize(st *readerState, db *decodedBlock, pi int) *wmap.Map {
 	m := &wmap.Map{}
-	r.materializeInto(db, pi, m)
+	materializeInto(st, db, pi, m)
 	return m
 }
 
@@ -549,9 +724,9 @@ func (r *Reader) materialize(db *decodedBlock, pi int) *wmap.Map {
 // into m, reusing m's slice capacity — the zero-allocation steady state
 // behind Cursor.MapView. The result shares no mutable state with the
 // reader or the (possibly cached, shared) decoded block.
-func (r *Reader) materializeInto(db *decodedBlock, pi int, m *wmap.Map) {
-	topo := r.topos[db.meta.topoIndex]
-	m.ID = wmap.MapID(r.strs[db.meta.mapRef])
+func materializeInto(st *readerState, db *decodedBlock, pi int, m *wmap.Map) {
+	topo := st.topos[db.meta.topoIndex]
+	m.ID = wmap.MapID(st.strs[db.meta.mapRef])
 	m.Time = time.Unix(db.times[pi], 0).UTC()
 	m.Nodes = append(m.Nodes[:0], topo.nodes...)
 	m.Links = append(m.Links[:0], topo.links...)
@@ -564,11 +739,11 @@ func (r *Reader) materializeInto(db *decodedBlock, pi int, m *wmap.Map) {
 // blockRange binary-searches the map's chronological block list for the
 // blocks overlapping [fromU, toU] — the O(log n) seek the footer index
 // exists for.
-func (r *Reader) blockRange(id wmap.MapID, fromU, toU int64) []int {
-	bl := r.perMap[id]
+func (st *readerState) blockRange(id wmap.MapID, fromU, toU int64) []int {
+	bl := st.perMap[id]
 	// Blocks are sorted and non-overlapping, so lastUnix is sorted too.
-	lo := sort.Search(len(bl), func(i int) bool { return r.blocks[bl[i]].lastUnix >= fromU })
-	hi := sort.Search(len(bl), func(i int) bool { return r.blocks[bl[i]].baseUnix > toU })
+	lo := sort.Search(len(bl), func(i int) bool { return st.blocks[bl[i]].lastUnix >= fromU })
+	hi := sort.Search(len(bl), func(i int) bool { return st.blocks[bl[i]].baseUnix > toU })
 	if lo >= hi {
 		return nil
 	}
@@ -591,34 +766,35 @@ func rangeBounds(from, to time.Time) (int64, int64) {
 // SnapshotAt materializes the latest snapshot of the map at or before at,
 // like TimeSeries.At. It fails with ErrUnknownMap or ErrNoSnapshot.
 func (r *Reader) SnapshotAt(id wmap.MapID, at time.Time) (*wmap.Map, error) {
-	bl := r.perMap[id]
+	st := r.st()
+	bl := st.perMap[id]
 	if len(bl) == 0 {
 		return nil, fmt.Errorf("tsdb: map %q: %w", id, ErrUnknownMap)
 	}
 	atU := at.Unix()
-	i := sort.Search(len(bl), func(k int) bool { return r.blocks[bl[k]].baseUnix > atU }) - 1
+	i := sort.Search(len(bl), func(k int) bool { return st.blocks[bl[k]].baseUnix > atU }) - 1
 	if i < 0 {
 		return nil, fmt.Errorf("tsdb: %s at %s: %w", id, at.UTC(), ErrNoSnapshot)
 	}
-	db, err := r.block(bl[i], allColumns)
+	db, err := r.block(st, bl[i], allColumns)
 	if err != nil {
 		return nil, err
 	}
 	pi := sort.Search(len(db.times), func(k int) bool { return db.times[k] > atU }) - 1
-	return r.materialize(db, pi), nil
+	return materialize(st, db, pi), nil
 }
 
 // mapHasLink reports whether any topology used by the map's blocks
 // contains the link.
-func (r *Reader) mapHasLink(id wmap.MapID, key LinkKey) bool {
+func (st *readerState) mapHasLink(id wmap.MapID, key LinkKey) bool {
 	seen := make(map[int]bool)
-	for _, bi := range r.perMap[id] {
-		ti := r.blocks[bi].topoIndex
+	for _, bi := range st.perMap[id] {
+		ti := st.blocks[bi].topoIndex
 		if seen[ti] {
 			continue
 		}
 		seen[ti] = true
-		if r.topos[ti].linkIndex(key) >= 0 {
+		if st.topos[ti].linkIndex(key) >= 0 {
 			return true
 		}
 	}
@@ -661,36 +837,39 @@ func (r *Reader) LinkSeriesContext(ctx context.Context, id wmap.MapID, key LinkK
 // load columns, trimmed to [from, to]. The slices alias shared (possibly
 // cached) decoded state — fn must not mutate or retain them. This is the
 // hot serving path for raw series: no per-point time.Time or TimeSeries
-// materialization between the cache and the encoder.
+// materialization between the cache and the encoder. The whole scan runs
+// against one pinned state, so a concurrent Refresh never mixes commit
+// views mid-series.
 func (r *Reader) LinkColumnsContext(ctx context.Context, id wmap.MapID, key LinkKey, from, to time.Time, fn func(times []int64, ab, ba []wmap.Load) error) error {
-	if len(r.perMap[id]) == 0 {
+	st := r.st()
+	if len(st.perMap[id]) == 0 {
 		return fmt.Errorf("tsdb: map %q: %w", id, ErrUnknownMap)
 	}
-	if !r.mapHasLink(id, key) {
+	if !st.mapHasLink(id, key) {
 		return fmt.Errorf("tsdb: %s link %s: %w", id, key, ErrUnknownLink)
 	}
 	fromU, toU := rangeBounds(from, to)
 	// Resolve each block's column group up front; blocks whose topology
 	// lacks the link contribute nothing and never enter the pipeline.
 	var ids, groups []int
-	for _, bi := range r.blockRange(id, fromU, toU) {
-		if ci := r.topos[r.blocks[bi].topoIndex].linkIndex(key); ci >= 0 {
+	for _, bi := range st.blockRange(id, fromU, toU) {
+		if ci := st.topos[st.blocks[bi].topoIndex].linkIndex(key); ci >= 0 {
 			ids = append(ids, bi)
 			groups = append(groups, ci)
 		}
 	}
-	return r.linkColumns(ctx, ids, groups, fromU, toU, fn)
+	return r.linkColumns(ctx, st, ids, groups, fromU, toU, fn)
 }
 
 // linkColumns runs the read-ahead pipeline over the resolved blocks and
 // feeds each block's trimmed columns to fn in order.
-func (r *Reader) linkColumns(ctx context.Context, ids, groups []int, fromU, toU int64, fn func(times []int64, ab, ba []wmap.Load) error) error {
+func (r *Reader) linkColumns(ctx context.Context, st *readerState, ids, groups []int, fromU, toU int64, fn func(times []int64, ab, ba []wmap.Load) error) error {
 	if len(ids) == 0 {
 		return ctx.Err()
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	out := r.startReadAhead(ctx, ids, func(i int) int { return groups[i] }, defaultReadAheadWorkers())
+	out := r.startReadAhead(ctx, st, ids, func(i int) int { return groups[i] }, defaultReadAheadWorkers())
 	i := 0
 	for res := range out {
 		if res.err != nil {
@@ -715,33 +894,37 @@ func (r *Reader) linkColumns(ctx context.Context, ids, groups []int, fromU, toU 
 // the bound can exceed the exact count by at most two blocks' points —
 // what the API's response-size guard needs.
 func (r *Reader) rangePointCount(id wmap.MapID, from, to time.Time) int {
+	st := r.st()
 	fromU, toU := rangeBounds(from, to)
 	n := 0
-	for _, bi := range r.blockRange(id, fromU, toU) {
-		n += r.blocks[bi].points
+	for _, bi := range st.blockRange(id, fromU, toU) {
+		n += st.blocks[bi].points
 	}
 	return n
 }
 
 // ResolveLinkID maps a query-API link id back to its map and key, scanning
-// every topology once and caching the directory.
+// every topology once per committed state and caching the directory. Link
+// ids are stable, so ids resolved against an older state keep resolving
+// after a Refresh (topologies are only ever added).
 func (r *Reader) ResolveLinkID(linkID string) (wmap.MapID, LinkKey, bool) {
-	r.linkDirOnce.Do(func() {
-		r.linkDir = make(map[string]linkAddr)
-		for _, id := range r.mapIDs {
+	st := r.st()
+	st.linkDirOnce.Do(func() {
+		st.linkDir = make(map[string]linkAddr)
+		for _, id := range st.mapIDs {
 			seen := make(map[int]bool)
-			for _, bi := range r.perMap[id] {
-				ti := r.blocks[bi].topoIndex
+			for _, bi := range st.perMap[id] {
+				ti := st.blocks[bi].topoIndex
 				if seen[ti] {
 					continue
 				}
 				seen[ti] = true
-				for _, key := range linkKeys(r.topos[ti].links) {
-					r.linkDir[key.ID(id)] = linkAddr{mapID: id, key: key}
+				for _, key := range linkKeys(st.topos[ti].links) {
+					st.linkDir[key.ID(id)] = linkAddr{mapID: id, key: key}
 				}
 			}
 		}
 	})
-	a, ok := r.linkDir[linkID]
+	a, ok := st.linkDir[linkID]
 	return a.mapID, a.key, ok
 }

@@ -39,6 +39,11 @@ var (
 	ErrUnknownMap = errors.New("tsdb: map not present in archive")
 	// ErrUnknownLink reports a link query no topology of the map matches.
 	ErrUnknownLink = errors.New("tsdb: link not present in archive")
+	// ErrArchiveReplaced reports a Refresh that found the file's committed
+	// state is not an extension of the one being served — the archive was
+	// rewritten, not appended to, so cached blocks and pinned cursors
+	// cannot be trusted and the caller must open a fresh Reader.
+	ErrArchiveReplaced = errors.New("tsdb: archive was replaced, not extended")
 )
 
 // CorruptError reports a structurally invalid archive: bad magic, failed

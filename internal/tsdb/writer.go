@@ -3,12 +3,15 @@ package tsdb
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"math"
 	"os"
 	"sort"
+	"time"
 
 	"ovhweather/internal/wmap"
 )
@@ -60,6 +63,13 @@ type Writer struct {
 	err    error // sticky: first write failure poisons the writer
 	closed bool
 
+	// Live-append state (OpenAppend); see checkpoint.go for the protocol.
+	f         *os.File
+	live      bool
+	ckptPath  string
+	version   uint64 // last published commit version
+	committed int64  // data length the last checkpoint covered
+
 	blockPoints int
 
 	strIDs map[string]uint64
@@ -97,6 +107,184 @@ func Create(path string) (*Writer, error) {
 	w := NewWriter(bw)
 	w.bw, w.closer = bw, f
 	return w, nil
+}
+
+// OpenAppend opens path as a live archive for appending, creating it when
+// absent. It is the single-writer end of the live-append protocol: every
+// flushed block is followed by a durable checkpoint commit, concurrent
+// Readers tail the growing archive via Refresh, and Close turns the result
+// into a byte-for-byte normal closed archive.
+//
+// OpenAppend recovers whatever state a previous writer left behind:
+//
+//   - An empty or missing file starts a fresh archive.
+//   - A checkpointed (live) archive resumes from its last commit; any
+//     uncommitted tail past the committed offset — a torn write from a
+//     crash mid-append — is truncated away. The last committed block's
+//     checksum is re-verified so damage inside the committed prefix
+//     surfaces here as a *CorruptError rather than as a wrong read later.
+//   - A closed archive is reopened: its footer becomes the first
+//     checkpoint, then the footer and tail are truncated off and blocks
+//     append where the data section ended. (The checkpoint is committed
+//     before the truncate, so a crash between the two still recovers.)
+//
+// Anything else — a file that is neither empty, nor checkpointed, nor a
+// valid closed archive — fails with a typed *CorruptError. Recovery never
+// silently drops committed data: it restores exactly the committed prefix
+// or refuses.
+func OpenAppend(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	w := NewWriter(nil)
+	w.f, w.closer, w.live = f, f, true
+	w.ckptPath = CheckpointPath(path)
+	if err := w.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(w.off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	w.w, w.bw = bw, bw
+	return w, nil
+}
+
+// recover restores the writer's in-memory state (string table, topology
+// dictionary, block index, per-map clocks) from the archive's durable
+// commit state and truncates any uncommitted tail.
+func (w *Writer) recover() error {
+	ck, err := readCheckpoint(w.ckptPath)
+	switch {
+	case err == nil:
+		return w.recoverCheckpoint(ck)
+	case errors.Is(err, fs.ErrNotExist):
+	default:
+		return err
+	}
+	fi, err := w.f.Stat()
+	if err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	if fi.Size() == 0 {
+		return nil // fresh archive
+	}
+	// No checkpoint and a non-empty file: only a valid closed archive is
+	// acceptable. Turn its footer into the first commit, then truncate the
+	// footer and tail off so blocks append where the data section ended.
+	// Commit-before-truncate keeps every crash point recoverable.
+	footer, footerStart, err := readClosedFooter(w.f, fi.Size())
+	if err != nil {
+		return err
+	}
+	fd, err := parseFooterData(footer, footerStart, footerStart)
+	if err != nil {
+		return err
+	}
+	w.version = 1
+	if err := writeCheckpoint(w.ckptPath, footerStart, w.version, footer); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(footerStart); err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	w.off, w.committed = footerStart, footerStart
+	w.restore(fd)
+	return nil
+}
+
+// recoverCheckpoint resumes from a live commit record: verify the
+// committed prefix is intact, truncate the uncommitted tail, rebuild state.
+func (w *Writer) recoverCheckpoint(ck *checkpoint) error {
+	fi, err := w.f.Stat()
+	if err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	if fi.Size() < ck.dataEnd {
+		return corruptf(fi.Size(), "archive holds %d bytes but the checkpoint committed %d — committed data lost", fi.Size(), ck.dataEnd)
+	}
+	head, err := readAtFull(w.f, ck.dataEnd, 0, len(headerMagic))
+	if err != nil {
+		return err
+	}
+	if string(head) != headerMagic {
+		return corruptf(0, "bad header magic %q", head)
+	}
+	fd, err := parseFooterData(ck.payload, 0, ck.dataEnd)
+	if err != nil {
+		return err
+	}
+	if err := verifyTailBlock(w.f, fd, ck.dataEnd); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(ck.dataEnd); err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	w.off, w.committed, w.version = ck.dataEnd, ck.dataEnd, ck.version
+	w.restore(fd)
+	return nil
+}
+
+// verifyTailBlock re-checks the final committed block's frame against the
+// checkpoint's index: blocks are written contiguously and the checkpoint
+// commits right after a flush, so the highest-offset block must end exactly
+// at the committed offset with a valid checksum. This is the cheap
+// integrity probe of recovery — damage deeper in the committed prefix is
+// still caught by per-block CRCs at read time.
+func verifyTailBlock(r io.ReaderAt, fd *footerData, dataEnd int64) error {
+	if len(fd.blocks) == 0 {
+		if dataEnd != int64(len(headerMagic)) {
+			return corruptf(dataEnd, "checkpoint commits %d bytes but indexes no blocks", dataEnd)
+		}
+		return nil
+	}
+	last := &fd.blocks[0]
+	for i := range fd.blocks[1:] {
+		if fd.blocks[1+i].offset > last.offset {
+			last = &fd.blocks[1+i]
+		}
+	}
+	if end := last.offset + frameOverhead + int64(last.payloadLen); end != dataEnd {
+		return corruptf(dataEnd, "last committed block ends at %d, checkpoint commits %d", end, dataEnd)
+	}
+	frame, err := readAtFull(r, dataEnd, last.offset, frameOverhead+last.payloadLen)
+	if err != nil {
+		return err
+	}
+	if got := binary.LittleEndian.Uint32(frame[:4]); int(got) != last.payloadLen {
+		return corruptf(last.offset, "block length prefix %d disagrees with index's %d", got, last.payloadLen)
+	}
+	payload := frame[4 : 4+last.payloadLen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frame[4+last.payloadLen:]) {
+		return corruptf(last.offset, "last committed block checksum mismatch")
+	}
+	return nil
+}
+
+// restore rebuilds the writer's interning tables and clocks from parsed
+// footer data, as if every indexed block had just been flushed.
+func (w *Writer) restore(fd *footerData) {
+	w.strs = fd.strs
+	for i, s := range fd.strs {
+		w.strIDs[s] = uint64(i)
+	}
+	w.topos = fd.topos
+	for i, t := range fd.topos {
+		fp := fingerprintTopology(t.nodes, t.links)
+		w.topoByFP[fp] = append(w.topoByFP[fp], i)
+	}
+	w.index = fd.blocks
+	for i := range fd.blocks {
+		m := &fd.blocks[i]
+		id := wmap.MapID(fd.strs[m.mapRef])
+		if lt, ok := w.last[id]; !ok || m.lastUnix > lt {
+			w.last[id] = m.lastUnix
+		}
+		w.snapshots += m.points
+	}
 }
 
 // SetBlockPoints overrides the per-block snapshot capacity. It only affects
@@ -191,6 +379,13 @@ func (w *Writer) Append(m *wmap.Map) error {
 		if err := w.flushBlock(m.ID, ob); err != nil {
 			return err
 		}
+		// A live archive publishes a durable commit after every block that
+		// rotates out, so tailing readers lag by at most one open block.
+		if w.live {
+			if err := w.commit(); err != nil {
+				return err
+			}
+		}
 		ob = nil
 	}
 	if ob == nil {
@@ -274,8 +469,8 @@ func (w *Writer) flushBlock(id wmap.MapID, ob *openBlock) error {
 	for _, cb := range colBufs {
 		payload = append(payload, cb...)
 	}
-	if len(payload) > math.MaxUint32 {
-		return fmt.Errorf("tsdb: block payload of %d bytes exceeds the u32 frame", len(payload))
+	if len(payload) > math.MaxInt32 {
+		return fmt.Errorf("tsdb: block payload of %d bytes exceeds the frame limit", len(payload))
 	}
 
 	meta := blockMeta{
@@ -355,8 +550,82 @@ func (w *Writer) encodeFooter() []byte {
 	return buf
 }
 
+// LastTime returns the time of the map's newest appended snapshot,
+// including snapshots recovered by OpenAppend — the resume point a
+// follow-mode ingester needs to skip work already archived.
+func (w *Writer) LastTime(id wmap.MapID) (time.Time, bool) {
+	t, ok := w.last[id]
+	if !ok {
+		return time.Time{}, false
+	}
+	return time.Unix(t, 0).UTC(), ok
+}
+
+// Version is the commit version of the last published checkpoint; 0 before
+// the first commit or on a non-live writer.
+func (w *Writer) Version() uint64 { return w.version }
+
+// commit publishes the current flushed state as the archive's durable
+// committed prefix: flush buffered block bytes, fsync the data file, then
+// atomically replace the checkpoint — the write-ahead ordering the crash
+// recovery relies on. No-op when nothing was flushed since the last commit.
+func (w *Writer) commit() error {
+	if w.off == w.committed {
+		return nil
+	}
+	if w.bw != nil {
+		if err := w.bw.Flush(); err != nil {
+			w.err = fmt.Errorf("tsdb: flush: %w", err)
+			return w.err
+		}
+	}
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			w.err = fmt.Errorf("tsdb: sync: %w", err)
+			return w.err
+		}
+	}
+	w.version++
+	if err := writeCheckpoint(w.ckptPath, w.off, w.version, w.encodeFooter()); err != nil {
+		w.err = err
+		return err
+	}
+	w.committed = w.off
+	return nil
+}
+
+// Sync flushes every open block and publishes a durable commit, making all
+// appended snapshots visible to tailing readers (Reader.Refresh) and
+// recoverable after a crash. A follow-mode ingester calls it once per poll
+// cycle; blocks it rotates out early are smaller than DefaultBlockPoints,
+// which costs some index density but keeps readers at most one poll behind.
+func (w *Writer) Sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return ErrClosed
+	}
+	if !w.live {
+		return errors.New("tsdb: Sync requires an OpenAppend writer")
+	}
+	// Force the header out even when nothing was appended yet: the first
+	// Sync of a fresh archive then commits a valid empty state, so a
+	// tailing reader can open the file before the first snapshot lands.
+	if err := w.ensureHeader(); err != nil {
+		return err
+	}
+	if err := w.flushOpen(); err != nil {
+		return err
+	}
+	return w.commit()
+}
+
 // Close flushes every open block, writes the footer, and closes the
 // underlying file when the writer owns one. The writer is unusable after.
+// A live writer commits a final checkpoint before the footer lands and
+// deletes the checkpoint after — every crash point during Close leaves
+// either a recoverable live archive or a complete closed one.
 func (w *Writer) Close() error {
 	if w.closed {
 		return w.err
@@ -370,6 +639,15 @@ func (w *Writer) Close() error {
 			w.err = fmt.Errorf("tsdb: flush: %w", ferr)
 		}
 	}
+	if w.live && w.err == nil {
+		// The footer must be durable before the checkpoint disappears, or a
+		// crash here would leave a footer-less file with no commit record.
+		if serr := w.f.Sync(); serr != nil {
+			w.err = fmt.Errorf("tsdb: sync: %w", serr)
+		} else if rerr := os.Remove(w.ckptPath); rerr != nil && !errors.Is(rerr, fs.ErrNotExist) {
+			w.err = fmt.Errorf("tsdb: %w", rerr)
+		}
+	}
 	if w.closer != nil {
 		if cerr := w.closer.Close(); cerr != nil && w.err == nil {
 			w.err = fmt.Errorf("tsdb: close: %w", cerr)
@@ -378,12 +656,9 @@ func (w *Writer) Close() error {
 	return w.err
 }
 
-func (w *Writer) finish() error {
-	if err := w.ensureHeader(); err != nil {
-		return err
-	}
-	// Flush open blocks in map-id order so the byte output is a pure
-	// function of the append sequence.
+// flushOpen flushes the open blocks in map-id order so the byte output is
+// a pure function of the append sequence.
+func (w *Writer) flushOpen() error {
 	ids := make([]string, 0, len(w.open))
 	for id := range w.open {
 		ids = append(ids, string(id))
@@ -394,6 +669,21 @@ func (w *Writer) finish() error {
 			return err
 		}
 		delete(w.open, wmap.MapID(id))
+	}
+	return nil
+}
+
+func (w *Writer) finish() error {
+	if err := w.ensureHeader(); err != nil {
+		return err
+	}
+	if err := w.flushOpen(); err != nil {
+		return err
+	}
+	if w.live {
+		if err := w.commit(); err != nil {
+			return err
+		}
 	}
 	footer := w.encodeFooter()
 	var sum [4]byte
