@@ -27,6 +27,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -71,7 +72,7 @@ func main() {
 	flag.StringVar(&cfg.archive, "archive", "", "columnar tsdb archive (alternative to -data)")
 	flag.BoolVar(&cfg.useSim, "sim", false, "analyze the simulator directly instead of a dataset")
 	flag.StringVar(&cfg.mapStr, "map", "europe", "map analyzed in Figures 4-6")
-	flag.StringVar(&cfg.figures, "figures", "all", "comma-separated subset: 1,2,3,4,5,6 or all")
+	flag.StringVar(&cfg.figures, "figures", "all", "comma-separated subset: 1,2,3,4,5,6 or all; add rollup for the tier-backed weekly fold (-archive only)")
 	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "YAML-decoding worker-pool size (1 = sequential); also the -archive block-decode pipeline width")
 	flag.DurationVar(&cfg.simStep, "sim-step", 6*time.Hour, "sampling step in -sim mode")
 	flag.Int64Var(&cfg.cacheBytes, "block-cache", tsdb.DefaultBlockCacheBytes, "decoded-block cache budget in bytes for -archive reads (0 disables)")
@@ -296,6 +297,33 @@ func run(cfg config) error {
 			return err
 		}
 		analysis.WriteWeekly(out, weekly)
+	}
+	// The rollup fold is opt-in (not part of "all"): it needs an archive with
+	// pre-aggregated tiers, and it demonstrates the long-range path — the
+	// whole corpus folds from the 1h tier without decoding a single raw
+	// block.
+	if want["rollup"] {
+		analysis.Banner(out, "Weekly loads from the 1h rollup tier ("+id.Title()+")")
+		if rd == nil {
+			return fmt.Errorf("-figures rollup needs -archive; rollup tiers live in the tsdb archive")
+		}
+		bks, err := rd.RollupTotals(ctx, id, time.Hour, time.Time{}, time.Time{})
+		switch {
+		case errors.Is(err, tsdb.ErrNoRollup):
+			fmt.Fprintln(out, "archive carries no 1h rollup tier; rewrite it with wmparse -archive to add one")
+		case err != nil:
+			return err
+		default:
+			aggs := make([]analysis.HourAgg, len(bks))
+			for i, b := range bks {
+				aggs[i] = analysis.HourAgg{Start: b.Start, Count: b.Samples, Sum: b.Sum, Min: b.Min, Max: b.Max}
+			}
+			v, err := analysis.WeeklyMeans(aggs)
+			if err != nil {
+				return err
+			}
+			analysis.WriteWeeklyMeans(out, v)
+		}
 	}
 	if sel("6") {
 		analysis.Banner(out, "Figure 6 — link upgrade study ("+sc.Upgrade.Peering+")")

@@ -16,7 +16,9 @@
 // -archive FILE additionally streams every processed snapshot — in
 // chronological order per map, including snapshots already processed by an
 // earlier run — into a columnar tsdb archive (see internal/tsdb), the input
-// of wmanalyze -archive and the wmserve query API.
+// of wmanalyze -archive and the wmserve query API. The archive also carries
+// pre-aggregated rollup tiers for long-range queries; -rollups picks the
+// tier resolutions (default 1h,24h; "off" disables them).
 //
 // -follow (requires -archive) turns the one-shot run into a live ingester:
 // the archive is opened in append mode (resuming whatever a previous run —
@@ -30,7 +32,7 @@
 // Usage:
 //
 //	wmparse -data DIR [-maps europe,...] [-workers N] [-threshold 40]
-//	        [-archive FILE] [-follow] [-poll 2s] [-std-decoder]
+//	        [-archive FILE] [-rollups 1h,24h] [-follow] [-poll 2s] [-std-decoder]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-quiet]
 package main
 
@@ -67,6 +69,7 @@ func main() {
 		colors     = flag.Bool("verify-colors", false, "cross-check load percentages against arrow colors")
 		stdDecoder = flag.Bool("std-decoder", false, "parse with encoding/xml instead of the fast lexer")
 		archive    = flag.String("archive", "", "also write a columnar tsdb archive to `file`")
+		rollups    = flag.String("rollups", "1h,24h", "comma-separated rollup tier resolutions for -archive (off disables)")
 		follow     = flag.Bool("follow", false, "keep running: append snapshots to the archive as they land in -data")
 		poll       = flag.Duration("poll", 2*time.Second, "directory re-scan interval in -follow mode")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
@@ -91,7 +94,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	code, err := run(*dir, *mapsStr, *workers, *threshold, *colors, *quiet, *archive, *follow, *poll)
+	code, err := run(*dir, *mapsStr, *workers, *threshold, *colors, *quiet, *archive, *rollups, *follow, *poll)
 	if perr := stopProf(); perr != nil {
 		log.Print(perr)
 		if code == 0 {
@@ -105,7 +108,26 @@ func main() {
 	os.Exit(code)
 }
 
-func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool, archive string, follow bool, poll time.Duration) (int, error) {
+// parseRollups turns the -rollups flag into tier resolutions. "off", "none",
+// and the empty string disable rollup maintenance (an explicit zero-argument
+// SetRollupResolutions call).
+func parseRollups(s string) ([]time.Duration, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "off", "none":
+		return nil, nil
+	}
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-rollups: %w", err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool, archive, rollups string, follow bool, poll time.Duration) (int, error) {
 	store, err := dataset.Open(dir)
 	if err != nil {
 		return 1, err
@@ -138,6 +160,15 @@ func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool
 			return 1, err
 		}
 		defer arch.Close()
+		// Rollup tiers are configured before the first append; OpenAppend
+		// replays the committed tail under the same tiers on first use.
+		tiers, err := parseRollups(rollups)
+		if err != nil {
+			return 1, err
+		}
+		if err := arch.SetRollupResolutions(tiers...); err != nil {
+			return 1, err
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

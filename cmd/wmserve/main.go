@@ -105,6 +105,7 @@ func newHandler(site http.Handler, rd *tsdb.Reader, cacheBytes int64) http.Handl
 	cache := tsdb.NewBlockCache(cacheBytes)
 	rd.SetBlockCache(cache)
 	publishCacheStats(cache)
+	publishPlannerStats(rd)
 	mux := http.NewServeMux()
 	mux.Handle("/api/v1/", tsdb.NewAPIHandler(rd))
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -129,6 +130,25 @@ func publishCacheStats(c *tsdb.BlockCache) {
 	cacheVar.once = true
 	expvar.Publish("tsdb_block_cache", expvar.Func(func() any {
 		return cacheVar.cache.Stats()
+	}))
+}
+
+// publishPlannerStats exposes the query planner's per-tier counters as the
+// tsdb_planner expvar, with the same rebind-through-a-Func dance as the
+// cache stats.
+var plannerVar struct {
+	rd   *tsdb.Reader
+	once bool
+}
+
+func publishPlannerStats(rd *tsdb.Reader) {
+	plannerVar.rd = rd
+	if plannerVar.once {
+		return
+	}
+	plannerVar.once = true
+	expvar.Publish("tsdb_planner", expvar.Func(func() any {
+		return plannerVar.rd.PlannerStats()
 	}))
 }
 

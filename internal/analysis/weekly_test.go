@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"ovhweather/internal/stats"
+)
+
+// TestWeeklyMeans: the rollup-backed weekly fold must agree exactly with a
+// flat mean over the underlying samples — means compose weighted by count —
+// and track the global extremes.
+func TestWeeklyMeans(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	start := time.Date(2020, 7, 6, 0, 0, 0, 0, time.UTC) // a Monday
+	var aggs []HourAgg
+	var daySum [7]float64
+	var dayN [7]int64
+	min, max := 101.0, -1.0
+	for h := 0; h < 10*24; h++ { // ten days: every weekday hit
+		at := start.Add(time.Duration(h) * time.Hour)
+		n := int64(1 + r.Intn(5))
+		a := HourAgg{Start: at, Count: n, Min: 101, Max: -1}
+		for k := int64(0); k < n; k++ {
+			v := float64(r.Intn(101))
+			a.Sum += v
+			if v < a.Min {
+				a.Min = v
+			}
+			if v > a.Max {
+				a.Max = v
+			}
+		}
+		d := int(at.Weekday())
+		daySum[d] += a.Sum
+		dayN[d] += n
+		if a.Min < min {
+			min = a.Min
+		}
+		if a.Max > max {
+			max = a.Max
+		}
+		aggs = append(aggs, a)
+	}
+	v, err := WeeklyMeans(aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wdSum, weSum float64
+	var wdN, weN int64
+	for d := 0; d < 7; d++ {
+		if v.Samples[d] != dayN[d] {
+			t.Errorf("day %d samples = %d, want %d", d, v.Samples[d], dayN[d])
+		}
+		if want := daySum[d] / float64(dayN[d]); v.ByDay[d] != want {
+			t.Errorf("day %d mean = %v, want %v", d, v.ByDay[d], want)
+		}
+		if d == int(time.Saturday) || d == int(time.Sunday) {
+			weSum += daySum[d]
+			weN += dayN[d]
+		} else {
+			wdSum += daySum[d]
+			wdN += dayN[d]
+		}
+	}
+	if v.WeekdayMean != wdSum/float64(wdN) || v.WeekendMean != weSum/float64(weN) {
+		t.Errorf("split means = %v/%v, want %v/%v", v.WeekdayMean, v.WeekendMean, wdSum/float64(wdN), weSum/float64(weN))
+	}
+	if v.Min != min || v.Max != max {
+		t.Errorf("extremes = [%v, %v], want [%v, %v]", v.Min, v.Max, min, max)
+	}
+
+	var out strings.Builder
+	WriteWeeklyMeans(&out, v)
+	if !strings.Contains(out.String(), "Monday") {
+		t.Errorf("rendered view misses Monday:\n%s", out.String())
+	}
+
+	// Zero-count buckets are ignored; an all-empty input is ErrEmpty.
+	if _, err := WeeklyMeans([]HourAgg{{Start: start, Count: 0}}); !errors.Is(err, stats.ErrEmpty) {
+		t.Errorf("empty fold err = %v, want stats.ErrEmpty", err)
+	}
+}

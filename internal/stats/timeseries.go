@@ -165,6 +165,54 @@ func (ts *TimeSeries) Resample(step time.Duration) *TimeSeries {
 	return out
 }
 
+// WindowAgg is one resample window's full aggregate: the same mean
+// Resample emits plus the count, sum, and extremes — the shape the load
+// API's min/max bands are built from when no rollup tier can serve them.
+type WindowAgg struct {
+	T        time.Time
+	Count    int
+	Sum      float64
+	Min, Max float64
+}
+
+// ResampleAgg is Resample keeping the whole aggregate per window instead
+// of just the mean: identical bucketing (fixed windows of width step
+// anchored at the first point, empty windows skipped, partial last window
+// emitted), so ResampleAgg[i].Sum/Count equals Resample's i-th value
+// exactly.
+func (ts *TimeSeries) ResampleAgg(step time.Duration) []WindowAgg {
+	ts.ensureSorted()
+	if len(ts.points) == 0 || step <= 0 {
+		return nil
+	}
+	var out []WindowAgg
+	cur := ts.points[0].T
+	agg := WindowAgg{T: cur}
+	flush := func() {
+		if agg.Count > 0 {
+			out = append(out, agg)
+		}
+		agg = WindowAgg{T: cur}
+	}
+	for _, p := range ts.points {
+		for p.T.Sub(cur) >= step {
+			flush()
+			cur = cur.Add(step)
+			agg.T = cur
+		}
+		if agg.Count == 0 || p.V < agg.Min {
+			agg.Min = p.V
+		}
+		if agg.Count == 0 || p.V > agg.Max {
+			agg.Max = p.V
+		}
+		agg.Sum += p.V
+		agg.Count++
+	}
+	flush()
+	return out
+}
+
 // Gap is a pause between consecutive timestamps, used by the collection
 // time-frame analysis (Figures 2 and 3).
 type Gap struct {

@@ -169,6 +169,41 @@ func TestResampleEdge(t *testing.T) {
 	}
 }
 
+// TestResampleAggMatchesResample: the aggregate resample must bucket
+// exactly like Resample — same windows, same skipping, Sum/Count equal to
+// the mean bit for bit — while carrying counts and extremes alongside.
+func TestResampleAggMatchesResample(t *testing.T) {
+	ts := NewTimeSeries()
+	for i := 0; i < 500; i++ {
+		// Irregular spacing with multi-window gaps and float-unfriendly values.
+		ts.Append(at(7*i+i%13), float64((i*37)%101)/3)
+	}
+	means := ts.Resample(time.Hour).Points()
+	aggs := ts.ResampleAgg(time.Hour)
+	if len(aggs) != len(means) {
+		t.Fatalf("agg windows = %d, mean windows = %d", len(aggs), len(means))
+	}
+	total := 0
+	for i, a := range aggs {
+		if !a.T.Equal(means[i].T) {
+			t.Errorf("window %d at %v, want %v", i, a.T, means[i].T)
+		}
+		if got := a.Sum / float64(a.Count); got != means[i].V {
+			t.Errorf("window %d mean = %v, want %v", i, got, means[i].V)
+		}
+		if a.Min > a.Max || a.Sum < a.Min*float64(a.Count) || a.Sum > a.Max*float64(a.Count) {
+			t.Errorf("window %d aggregate inconsistent: %+v", i, a)
+		}
+		total += a.Count
+	}
+	if total != ts.Len() {
+		t.Errorf("aggregated %d points, series holds %d", total, ts.Len())
+	}
+	if got := NewTimeSeries().ResampleAgg(time.Hour); got != nil {
+		t.Errorf("empty ResampleAgg = %v", got)
+	}
+}
+
 func TestIntervals(t *testing.T) {
 	times := []time.Time{at(10), at(0), at(5), at(25)}
 	iv := Intervals(times)

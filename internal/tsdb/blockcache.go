@@ -17,7 +17,8 @@ const cacheShards = 16
 
 /// cacheKey identifies one decoded-block variant: the owning archive (by
 // the reader's open-time fingerprint, so one cache may serve several
-// readers), the block index, and the column group — allColumns for a fully
+// readers), the block kind (raw or rollup — each indexes its own footer
+// table), the block index, and the column group — allColumns for a fully
 // decoded block, otherwise the link index whose two directed columns were
 // decoded. The archive component deliberately does NOT roll with Refresh:
 // a live archive only ever appends, so block index bi keeps naming the same
@@ -26,17 +27,31 @@ const cacheShards = 16
 // ErrArchiveReplaced precisely to protect this invariant).
 type cacheKey struct {
 	arch  uint64
+	kind  uint8
 	block int
 	group int
 }
 
+// cacheKey.kind values: the raw block index and the rollup index are
+// separate footer tables, so the same block number names different bytes.
+const (
+	kindRaw    uint8 = 0
+	kindRollup uint8 = 1
+)
+
 // allColumns is the cacheKey.group value for a block decoded in full.
 const allColumns = -1
+
+// cacheValue is what the cache stores: an immutable decoded raw block or
+// rollup block that can report the heap bytes it pins.
+type cacheValue interface {
+	cost() int64
+}
 
 // shard spreads keys over the shard array with a mixed multiplicative
 // hash; block and group are offset so the common small values diverge.
 func (k cacheKey) shard() uint64 {
-	h := k.arch * 0x9e3779b97f4a7c15
+	h := (k.arch + uint64(k.kind)) * 0x9e3779b97f4a7c15
 	h ^= uint64(k.block+1) * 0xbf58476d1ce4e5b9
 	h ^= uint64(k.group+2) * 0x94d049bb133111eb
 	h ^= h >> 29
@@ -78,15 +93,15 @@ type cacheShard struct {
 
 type cacheEntry struct {
 	key  cacheKey
-	db   *decodedBlock
+	val  cacheValue
 	cost int64
 }
 
 // cacheFlight is one in-progress decode; followers block on done and then
-// read db/err, which are written exactly once before the close.
+// read val/err, which are written exactly once before the close.
 type cacheFlight struct {
 	done chan struct{}
-	db   *decodedBlock
+	val  cacheValue
 	err  error
 }
 
@@ -104,10 +119,10 @@ func NewBlockCache(budget int64) *BlockCache {
 	return c
 }
 
-// get returns the cached block for k, if present, promoting it to most
+// get returns the cached value for k, if present, promoting it to most
 // recently used. It never waits on an in-progress decode and records no
 // miss when absent — the probe callers use to try a broader key first.
-func (c *BlockCache) get(k cacheKey) (*decodedBlock, bool) {
+func (c *BlockCache) get(k cacheKey) (cacheValue, bool) {
 	s := &c.shards[k.shard()]
 	s.mu.Lock()
 	el, ok := s.byKey[k]
@@ -119,56 +134,56 @@ func (c *BlockCache) get(k cacheKey) (*decodedBlock, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*cacheEntry).db, true
+	return el.Value.(*cacheEntry).val, true
 }
 
-// getOrLoad returns the cached block for k or invokes load exactly once
+// getOrLoad returns the cached value for k or invokes load exactly once
 // across all concurrent callers of the same key, caching the result.
 // Errors are returned to every waiter but never cached, so a transient
 // read failure does not poison the key.
-func (c *BlockCache) getOrLoad(k cacheKey, load func() (*decodedBlock, error)) (*decodedBlock, error) {
+func (c *BlockCache) getOrLoad(k cacheKey, load func() (cacheValue, error)) (cacheValue, error) {
 	s := &c.shards[k.shard()]
 	s.mu.Lock()
 	if el, ok := s.byKey[k]; ok {
 		s.lru.MoveToFront(el)
 		s.mu.Unlock()
 		c.hits.Add(1)
-		return el.Value.(*cacheEntry).db, nil
+		return el.Value.(*cacheEntry).val, nil
 	}
 	if f, ok := s.flight[k]; ok {
 		s.mu.Unlock()
 		c.dedups.Add(1)
 		<-f.done
-		return f.db, f.err
+		return f.val, f.err
 	}
 	f := &cacheFlight{done: make(chan struct{})}
 	s.flight[k] = f
 	s.mu.Unlock()
 
 	c.misses.Add(1)
-	f.db, f.err = load()
+	f.val, f.err = load()
 
 	s.mu.Lock()
 	delete(s.flight, k)
-	inserted := f.err == nil && c.insertLocked(s, k, f.db)
+	inserted := f.err == nil && c.insertLocked(s, k, f.val)
 	s.mu.Unlock()
 	close(f.done)
 	if inserted {
 		c.evictOver(k.shard())
 	}
-	return f.db, f.err
+	return f.val, f.err
 }
 
-// insertLocked adds a decoded block under k and reports whether it was
-// cached. Blocks larger than the whole budget are served but never cached —
+// insertLocked adds a decoded value under k and reports whether it was
+// cached. Values larger than the whole budget are served but never cached —
 // caching one would evict everything for a single-use entry. Eviction back
 // under budget happens in evictOver, after the shard lock is released.
-func (c *BlockCache) insertLocked(s *cacheShard, k cacheKey, db *decodedBlock) bool {
-	cost := db.cost()
+func (c *BlockCache) insertLocked(s *cacheShard, k cacheKey, v cacheValue) bool {
+	cost := v.cost()
 	if cost > c.budget {
 		return false
 	}
-	s.byKey[k] = s.lru.PushFront(&cacheEntry{key: k, db: db, cost: cost})
+	s.byKey[k] = s.lru.PushFront(&cacheEntry{key: k, val: v, cost: cost})
 	s.bytes += cost
 	c.bytes.Add(cost)
 	c.entries.Add(1)

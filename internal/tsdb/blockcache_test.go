@@ -42,7 +42,7 @@ func TestBlockCacheHitMissAndEviction(t *testing.T) {
 
 	k := cacheKey{arch: 1, block: 7, group: allColumns}
 	loads := 0
-	load := func() (*decodedBlock, error) { loads++; return db, nil }
+	load := func() (cacheValue, error) { loads++; return db, nil }
 
 	for i := 0; i < 3; i++ {
 		got, err := c.getOrLoad(k, load)
@@ -70,7 +70,7 @@ func TestBlockCacheHitMissAndEviction(t *testing.T) {
 		}
 	}
 	for _, k2 := range collide {
-		if _, err := c.getOrLoad(k2, func() (*decodedBlock, error) { return fakeBlock(4), nil }); err != nil {
+		if _, err := c.getOrLoad(k2, func() (cacheValue, error) { return fakeBlock(4), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -98,7 +98,7 @@ func TestBlockCacheOversizedEntryNotCached(t *testing.T) {
 	k := cacheKey{arch: 1, block: 1, group: allColumns}
 	loads := 0
 	for i := 0; i < 2; i++ {
-		if _, err := c.getOrLoad(k, func() (*decodedBlock, error) { loads++; return fakeBlock(64), nil }); err != nil {
+		if _, err := c.getOrLoad(k, func() (cacheValue, error) { loads++; return fakeBlock(64), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -114,11 +114,11 @@ func TestBlockCacheErrorNotCached(t *testing.T) {
 	c := NewBlockCache(1 << 20)
 	k := cacheKey{arch: 1, block: 1, group: allColumns}
 	boom := errors.New("boom")
-	if _, err := c.getOrLoad(k, func() (*decodedBlock, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, err := c.getOrLoad(k, func() (cacheValue, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	db := fakeBlock(2)
-	got, err := c.getOrLoad(k, func() (*decodedBlock, error) { return db, nil })
+	got, err := c.getOrLoad(k, func() (cacheValue, error) { return db, nil })
 	if err != nil || got != db {
 		t.Fatalf("retry after error = %v, %v; want the fresh block", got, err)
 	}
@@ -135,12 +135,12 @@ func TestBlockCacheSingleflight(t *testing.T) {
 	gate := make(chan struct{})
 	const workers = 16
 	var wg sync.WaitGroup
-	results := make([]*decodedBlock, workers)
+	results := make([]cacheValue, workers)
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got, err := c.getOrLoad(k, func() (*decodedBlock, error) {
+			got, err := c.getOrLoad(k, func() (cacheValue, error) {
 				loads.Add(1)
 				<-gate // hold the flight open until every goroutine has arrived
 				return db, nil

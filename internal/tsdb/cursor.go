@@ -114,7 +114,7 @@ func (c *Cursor) nextBlock() (ok bool) {
 			c.err = res.err
 			return false
 		}
-		c.db = res.db
+		c.db = res.v.(*decodedBlock)
 		return true
 	}
 	if c.bi >= len(c.ids) {

@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -53,6 +54,32 @@ func FuzzBlockReader(f *testing.F) {
 	damaged := append([]byte(nil), valid...)
 	damaged[len(damaged)/2] ^= 0x40
 	f.Add(damaged)
+
+	// A rollup-bearing archive: the span seals 1h buckets and a topology
+	// change flushes fragment blocks, so the footer carries a v2 rollup
+	// index and rollup frames for the fuzzer to mutate.
+	var rbuf bytes.Buffer
+	rw := NewWriter(&rbuf)
+	rw.SetBlockPoints(8)
+	for i := 0; i < 20; i++ {
+		m := mk(wmap.Europe, 5*i, (3*i)%101)
+		if i >= 10 {
+			m.Nodes = append(m.Nodes, wmap.Node{Name: "fra-g1", Kind: wmap.Router})
+			m.Links = append(m.Links, wmap.Link{A: "par-g1", B: "fra-g1",
+				LabelA: "#2", LabelB: "#2", LoadAB: 5, LoadBA: 6})
+		}
+		if err := rw.Append(m); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	rollupSeed := rbuf.Bytes()
+	f.Add(rollupSeed)
+	rdam := append([]byte(nil), rollupSeed...)
+	rdam[len(rdam)-40] ^= 0x01 // inside the footer's rollup index region
+	f.Add(rdam)
 
 	// Mid-append states: a committed prefix with no footer, plus variants
 	// with an uncommitted tail — what a crashed live writer leaves on disk.
@@ -119,6 +146,24 @@ func FuzzBlockReader(f *testing.F) {
 					t.Fatalf("SnapshotAt error %v is neither *CorruptError nor ErrNoSnapshot", err)
 				}
 			}
+			if _, err := rd.RollupTotals(context.Background(), id, time.Hour, time.Time{}, time.Time{}); err != nil {
+				var ce *CorruptError
+				if !errors.As(err, &ce) && !errors.Is(err, ErrNoRollup) {
+					t.Fatalf("RollupTotals error %v is neither *CorruptError nor ErrNoRollup", err)
+				}
+			}
+		}
+		// Every rollup frame the footer indexes must decode or fail typed —
+		// a flipped byte anywhere in a frame or its index entry is either
+		// caught here or already rejected by parseFooterData above.
+		st := rd.st()
+		for ri := range st.rollups {
+			if _, err := decodeRollupAt(rd.r, st.size, &st.rollups[ri], nil); err != nil {
+				var ce *CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("rollup decode error %v is not *CorruptError", err)
+				}
+			}
 		}
 	})
 }
@@ -179,6 +224,17 @@ func FuzzAppendRecovery(f *testing.F) {
 		}
 	}
 	data2, ckpt2 := snap()
+	// A topology change retires the rollup run and flushes a fragment frame
+	// with its commit: this state's tail holds rollup frames, exercising the
+	// contiguity and checksum checks of verifyTailBlock.
+	grown := mk(5*6, 60)
+	grown.Nodes = append(grown.Nodes, wmap.Node{Name: "fra-g1", Kind: wmap.Router})
+	grown.Links = append(grown.Links, wmap.Link{A: "par-g1", B: "fra-g1",
+		LabelA: "#2", LabelB: "#2", LoadAB: 7, LoadBA: 8})
+	if err := w.Append(grown); err != nil {
+		f.Fatal(err)
+	}
+	data3, ckpt3 := snap()
 	if err := w.Close(); err != nil {
 		f.Fatal(err)
 	}
@@ -191,6 +247,8 @@ func FuzzAppendRecovery(f *testing.F) {
 	f.Add(data2, ckpt2, true)
 	f.Add(data2, ckpt1, true)      // torn tail: old commit, newer uncommitted bytes
 	f.Add(data1, ckpt2, true)      // committed data lost
+	f.Add(data3, ckpt3, true)      // commit whose tail carries rollup fragment frames
+	f.Add(data3, ckpt2, true)      // torn tail including uncommitted rollup frames
 	f.Add(closed, []byte{}, false) // clean closed archive, no sidecar
 	f.Add(closed, ckpt2, true)     // stale sidecar next to a closed archive
 	f.Add([]byte(headerMagic), ckpt1, true)

@@ -294,20 +294,58 @@ func (a *api) handleLinkLoad(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	etag := a.etag("load", linkID,
-		from.UTC().Format(time.RFC3339Nano), to.UTC().Format(time.RFC3339Nano), step.String())
+	bands := r.URL.Query().Get("bands") == "1"
+	if bands && step <= 0 {
+		writeError(w, http.StatusBadRequest, "bands=1 requires a step — min/max bands are per resample window")
+		return
+	}
+	etagParts := []string{"load", linkID,
+		from.UTC().Format(time.RFC3339Nano), to.UTC().Format(time.RFC3339Nano), step.String()}
+	if bands {
+		etagParts = append(etagParts, "bands")
+	}
+	etag := a.etag(etagParts...)
 	if serveCached(w, r, etag, fromGiven && toGiven) {
 		return
 	}
 	if step <= 0 {
 		// Two directed points per snapshot; the index bound costs no decode.
 		if raw := 2 * a.rd.rangePointCount(id, from, to); raw > a.maxPoints {
+			hint := suggestStep(a.rd.st(), id, from, to, raw, a.maxPoints)
 			writeError(w, http.StatusBadRequest,
-				"range holds ~%d raw points, over the %d-point response cap; resample with step (e.g. step=1h)",
-				raw, a.maxPoints)
+				"range holds ~%d raw points, over the %d-point response cap; resample with step (e.g. step=%s)",
+				raw, a.maxPoints, formatStepParam(hint))
 			return
 		}
 		a.serveRawLoad(w, r, linkID, id, key, from, to, step)
+		return
+	}
+
+	// The planner first: a step some rollup tier divides is served from
+	// pre-aggregated buckets, byte-identical to the raw resample. A corrupt
+	// rollup block degrades to the raw path — logged and counted, never a
+	// wrong answer. (nil, nil) means the planner declined.
+	lw, err := a.rd.linkLoadWindows(r.Context(), id, key, from, to, step)
+	if err != nil {
+		var ce *CorruptError
+		if errors.As(err, &ce) {
+			log.Printf("tsdb: api: rollup plan for %s: %v; falling back to raw scan", linkID, err)
+			a.rd.countFallback()
+			lw = nil
+		} else {
+			a.writeLoadError(w, err)
+			return
+		}
+	}
+	if lw != nil {
+		a.rd.countPlanned(lw.res)
+		a.serveWindowLoad(w, linkID, id, key, from, to, step, bands, lw)
+		return
+	}
+	a.rd.countPlanned(0)
+
+	if bands {
+		a.serveRawBandLoad(w, r, linkID, id, key, from, to, step)
 		return
 	}
 	ab, ba, err := a.rd.LinkSeriesContext(r.Context(), id, key, from, to)
@@ -327,6 +365,145 @@ func (a *api) handleLinkLoad(w http.ResponseWriter, r *http.Request) {
 	writeBody(w, http.StatusOK, b)
 	*bp = b
 	putEncBuf(bp)
+}
+
+// serveWindowLoad encodes a planner result. Without bands the body is
+// byte-identical to the Resample path: same window times, same means,
+// because both sides divide the same integer sums by the same counts.
+// bands adds per-window min/max series for each direction.
+func (a *api) serveWindowLoad(w http.ResponseWriter, linkID string, id wmap.MapID, key LinkKey, from, to time.Time, step time.Duration, bands bool, lw *loadWindows) {
+	bp := getEncBuf()
+	b := appendLoadMeta(*bp, linkID, id, key, from, to, step)
+	b = append(b, `,"ab":`...)
+	b = appendWindowMeans(b, lw, false)
+	b = append(b, `,"ba":`...)
+	b = appendWindowMeans(b, lw, true)
+	if bands {
+		b = append(b, `,"ab_min":`...)
+		b = appendWindowExtremes(b, lw, func(w *loadWindow) uint8 { return w.abMin })
+		b = append(b, `,"ab_max":`...)
+		b = appendWindowExtremes(b, lw, func(w *loadWindow) uint8 { return w.abMax })
+		b = append(b, `,"ba_min":`...)
+		b = appendWindowExtremes(b, lw, func(w *loadWindow) uint8 { return w.baMin })
+		b = append(b, `,"ba_max":`...)
+		b = appendWindowExtremes(b, lw, func(w *loadWindow) uint8 { return w.baMax })
+	}
+	b = append(b, '}', '\n')
+	writeBody(w, http.StatusOK, b)
+	*bp = b
+	putEncBuf(bp)
+}
+
+// appendWindowMeans appends one direction's mean series from planned
+// windows, skipping empty windows exactly as Resample does.
+func appendWindowMeans(b []byte, lw *loadWindows, ba bool) []byte {
+	b = append(b, '[')
+	var enc timeEncoder
+	first := true
+	for k := range lw.wins {
+		win := &lw.wins[k]
+		if win.n == 0 {
+			continue
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		sum := win.ab
+		if ba {
+			sum = win.ba
+		}
+		b = append(b, `{"t":`...)
+		b = enc.appendUnix(b, lw.t0+int64(k)*lw.step)
+		b = append(b, `,"v":`...)
+		b = appendJSONFloat(b, float64(sum)/float64(win.n))
+		b = append(b, '}')
+	}
+	return append(b, ']')
+}
+
+// appendWindowExtremes appends one per-window extreme series (integers).
+func appendWindowExtremes(b []byte, lw *loadWindows, sel func(w *loadWindow) uint8) []byte {
+	b = append(b, '[')
+	var enc timeEncoder
+	first := true
+	for k := range lw.wins {
+		win := &lw.wins[k]
+		if win.n == 0 {
+			continue
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, `{"t":`...)
+		b = enc.appendUnix(b, lw.t0+int64(k)*lw.step)
+		b = append(b, `,"v":`...)
+		b = strconv.AppendInt(b, int64(sel(win)), 10)
+		b = append(b, '}')
+	}
+	return append(b, ']')
+}
+
+// serveRawBandLoad is the bands=1 raw fallback: the same windowed
+// aggregates computed by scanning raw points through stats.ResampleAgg.
+func (a *api) serveRawBandLoad(w http.ResponseWriter, r *http.Request, linkID string, id wmap.MapID, key LinkKey, from, to time.Time, step time.Duration) {
+	ab, ba, err := a.rd.LinkSeriesContext(r.Context(), id, key, from, to)
+	if err != nil {
+		a.writeLoadError(w, err)
+		return
+	}
+	abAgg, baAgg := ab.ResampleAgg(step), ba.ResampleAgg(step)
+
+	bp := getEncBuf()
+	b := appendLoadMeta(*bp, linkID, id, key, from, to, step)
+	b = append(b, `,"ab":`...)
+	b = appendAggSeries(b, abAgg, func(wa *stats.WindowAgg) float64 { return wa.Sum / float64(wa.Count) })
+	b = append(b, `,"ba":`...)
+	b = appendAggSeries(b, baAgg, func(wa *stats.WindowAgg) float64 { return wa.Sum / float64(wa.Count) })
+	b = append(b, `,"ab_min":`...)
+	b = appendAggSeries(b, abAgg, func(wa *stats.WindowAgg) float64 { return wa.Min })
+	b = append(b, `,"ab_max":`...)
+	b = appendAggSeries(b, abAgg, func(wa *stats.WindowAgg) float64 { return wa.Max })
+	b = append(b, `,"ba_min":`...)
+	b = appendAggSeries(b, baAgg, func(wa *stats.WindowAgg) float64 { return wa.Min })
+	b = append(b, `,"ba_max":`...)
+	b = appendAggSeries(b, baAgg, func(wa *stats.WindowAgg) float64 { return wa.Max })
+	b = append(b, '}', '\n')
+	writeBody(w, http.StatusOK, b)
+	*bp = b
+	putEncBuf(bp)
+}
+
+// appendAggSeries appends one field of an aggregate resample as a series.
+func appendAggSeries(b []byte, aggs []stats.WindowAgg, sel func(wa *stats.WindowAgg) float64) []byte {
+	b = append(b, '[')
+	var enc timeEncoder
+	for i := range aggs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"t":`...)
+		b = enc.append(b, aggs[i].T)
+		b = append(b, `,"v":`...)
+		b = appendJSONFloat(b, sel(&aggs[i]))
+		b = append(b, '}')
+	}
+	return append(b, ']')
+}
+
+// formatStepParam renders a duration the way the step parameter parses it
+// (time.ParseDuration has no day unit, so a day is 24h).
+func formatStepParam(d time.Duration) string {
+	sec := int64(d / time.Second)
+	switch {
+	case sec%3600 == 0:
+		return fmt.Sprintf("%dh", sec/3600)
+	case sec%60 == 0:
+		return fmt.Sprintf("%dm", sec/60)
+	default:
+		return fmt.Sprintf("%ds", sec)
+	}
 }
 
 // serveRawLoad streams an unresampled series straight from the decoded
@@ -505,19 +682,21 @@ func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := a.rd.BlockCache().Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"archive": map[string]any{
-			"fingerprint": strconv.FormatUint(st.fp, 16),
-			"live":        st.live,
-			"version":     st.version,
-			"blocks":      len(st.blocks),
-			"snapshots":   snapshots,
-			"topologies":  len(st.topos),
-			"strings":     len(st.strs),
-			"bytes":       st.size,
-			"covered":     covered,
+			"fingerprint":   strconv.FormatUint(st.fp, 16),
+			"live":          st.live,
+			"version":       st.version,
+			"blocks":        len(st.blocks),
+			"rollup_blocks": len(st.rollups),
+			"snapshots":     snapshots,
+			"topologies":    len(st.topos),
+			"strings":       len(st.strs),
+			"bytes":         st.size,
+			"covered":       covered,
 		},
 		"block_cache": map[string]any{
 			"enabled": a.rd.BlockCache() != nil,
 			"stats":   cs,
 		},
+		"planner": a.rd.PlannerStats(),
 	})
 }

@@ -18,11 +18,13 @@ import (
 //	go test -run xxx -bench BenchmarkRefresh -benchtime 500x -benchmem ./internal/tsdb/
 func BenchmarkLiveAppend(b *testing.B) {
 	for _, c := range []struct {
-		name  string
-		every int
+		name      string
+		every     int
+		noRollups bool
 	}{
-		{"commit-per-block", 64},
-		{"commit-per-snapshot", 1},
+		{"commit-per-block", 64, false},
+		{"commit-per-block-no-rollup", 64, true}, // isolates the rollup maintenance overhead
+		{"commit-per-snapshot", 1, false},
 	} {
 		b.Run(c.name, func(b *testing.B) {
 			path := filepath.Join(b.TempDir(), "bench.tsdb")
@@ -31,6 +33,11 @@ func BenchmarkLiveAppend(b *testing.B) {
 				b.Fatal(err)
 			}
 			w.SetBlockPoints(64)
+			if c.noRollups {
+				if err := w.SetRollupResolutions(); err != nil {
+					b.Fatal(err)
+				}
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

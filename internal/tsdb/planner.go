@@ -1,0 +1,462 @@
+package tsdb
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"ovhweather/internal/wmap"
+)
+
+// The query planner: a step-resampled load query whose step is a multiple
+// of a rollup tier's resolution is answered from that tier's pre-aggregated
+// buckets plus a raw scan of the short unrolled tail, instead of decoding
+// every raw point. The planner only accepts a plan it can prove serves the
+// exact bytes of the raw path — windows anchored at the range's first
+// point, bucket boundaries aligned to window boundaries, means computed as
+// weighted mean-of-means through the count column (integer sums, so the
+// float64 arithmetic matches stats.TimeSeries.Resample digit for digit).
+// Anything it cannot prove — a step no tier divides, a misaligned anchor,
+// an implausibly huge window count — it declines, and the caller falls back
+// to the raw path. A corrupt rollup block likewise surfaces as a typed
+// *CorruptError the caller degrades on; the planner never guesses.
+
+// maxPlannedWindows caps the window array a plan may allocate. Real plans
+// are bounded by the archive's raw time span; a hostile footer claiming an
+// absurd span must not translate into an allocation bomb.
+const maxPlannedWindows = 1 << 22
+
+// loadWindow accumulates one resample window of a planned query: the
+// snapshot count, the two directed load sums, and the per-direction
+// extremes (served as the min/max bands).
+type loadWindow struct {
+	n      int64
+	ab, ba int64
+	abMin  uint8
+	abMax  uint8
+	baMin  uint8
+	baMax  uint8
+}
+
+// loadWindows is a planned query's result: fixed windows of width step
+// anchored at t0, mirroring Resample's bucketing. Windows with n == 0 are
+// skipped at encode time, exactly as Resample skips empty windows.
+type loadWindows struct {
+	t0   int64 // first window start: the range's first raw point
+	step int64 // window width, seconds
+	res  int64 // resolution of the tier that served the bulk
+	wins []loadWindow
+}
+
+// rollupPlan is the outcome of planning: which tier serves [t0, cut) from
+// which rollup blocks, and which raw blocks cover the tail [cut, toU].
+type rollupPlan struct {
+	t0, s, res int64
+	nWin       int64 // windows served from rollups; cut = t0 + nWin*s
+	cut        int64
+	nWins      int64 // total window array length
+	ids        []int // link-bearing raw blocks over the whole range
+	groups     []int
+	rids       []int // rollup blocks to decode
+	rgroups    []int
+}
+
+// planLoadWindows decides whether [fromU, toU] resampled at s seconds can
+// be served from a rollup tier, returning nil to decline. Tiers are tried
+// coarsest first; a tier is eligible when its resolution divides the step
+// AND the anchor, so every bucket nests inside exactly one window.
+func planLoadWindows(st *readerState, id wmap.MapID, key LinkKey, fromU, toU, s int64) *rollupPlan {
+	var ids, groups []int
+	for _, bi := range st.blockRange(id, fromU, toU) {
+		if ci := st.topos[st.blocks[bi].topoIndex].linkIndex(key); ci >= 0 {
+			ids = append(ids, bi)
+			groups = append(groups, ci)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	// The raw path's Resample anchors windows at the first point in range.
+	// That anchor is knowable without decoding only when the first block
+	// starts inside the range — then it is exactly the block's base time.
+	t0 := st.blocks[ids[0]].baseUnix
+	if t0 < fromU {
+		return nil
+	}
+	end := st.blocks[ids[len(ids)-1]].lastUnix
+	if end > toU {
+		end = toU
+	}
+	nWins := (end-t0)/s + 1
+	if nWins > maxPlannedWindows {
+		return nil
+	}
+	tiers := st.rollupTiers[id]
+	for k := len(tiers) - 1; k >= 0; k-- {
+		tier := &tiers[k]
+		res := tier.res
+		if s%res != 0 || t0%res != 0 {
+			continue
+		}
+		// The tier is complete strictly below its horizon: every raw point
+		// before it is aggregated in some flushed bucket. The bucket holding
+		// the tier's newest point may still be partial, so it is excluded.
+		horizon := tier.maxLast - tier.maxLast%res
+		wEnd := horizon
+		if toU < math.MaxInt64 && toU+1 < wEnd {
+			wEnd = toU + 1
+		}
+		nWin := (wEnd - t0) / s
+		if nWin <= 0 {
+			continue
+		}
+		cut := t0 + nWin*s
+		var rids, rgroups []int
+		for _, ri := range tier.entries {
+			m := &st.rollups[ri]
+			ci := st.topos[m.topoIndex].linkIndex(key)
+			if ci < 0 || m.lastBucket < t0 || m.firstBucket >= cut {
+				continue
+			}
+			rids = append(rids, ri)
+			rgroups = append(rgroups, ci)
+		}
+		if len(rids) == 0 {
+			continue
+		}
+		return &rollupPlan{t0: t0, s: s, res: res, nWin: nWin, cut: cut,
+			nWins: nWins, ids: ids, groups: groups, rids: rids, rgroups: rgroups}
+	}
+	return nil
+}
+
+// linkLoadWindows serves one link's resampled load query through the
+// planner. It returns (nil, nil) when no rollup tier can serve the step —
+// the caller then takes the raw Resample path — and a typed error when the
+// query is invalid or a block is corrupt. The result is byte-identical to
+// the raw path once encoded: same window times, same means, because both
+// sides sum the same integers in float64-exact ranges.
+func (r *Reader) linkLoadWindows(ctx context.Context, id wmap.MapID, key LinkKey, from, to time.Time, step time.Duration) (*loadWindows, error) {
+	if step <= 0 || step%time.Second != 0 || r.rollupOff.Load() {
+		return nil, nil
+	}
+	st := r.st()
+	if len(st.perMap[id]) == 0 {
+		return nil, fmt.Errorf("tsdb: map %q: %w", id, ErrUnknownMap)
+	}
+	if !st.mapHasLink(id, key) {
+		return nil, fmt.Errorf("tsdb: %s link %s: %w", id, key, ErrUnknownLink)
+	}
+	fromU, toU := rangeBounds(from, to)
+	s := int64(step / time.Second)
+	plan := planLoadWindows(st, id, key, fromU, toU, s)
+	if plan == nil {
+		return nil, nil
+	}
+	wins := make([]loadWindow, plan.nWins)
+	for i := range wins {
+		wins[i].abMin, wins[i].baMin = math.MaxUint8, math.MaxUint8
+	}
+
+	// Bulk: fold the tier's buckets into their windows. Fragments of one
+	// bucket (topology splits) merge by summing counts and sums and
+	// widening extremes — together they are the full bucket.
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := runReadAhead(rctx, len(plan.rids), defaultReadAheadWorkers(), func(i int) (cacheValue, error) {
+		return r.rollup(st, plan.rids[i], plan.rgroups[i])
+	})
+	i := 0
+	for res := range out {
+		if res.err != nil {
+			return nil, res.err
+		}
+		ru, ci := res.v.(*decodedRollup), plan.rgroups[i]
+		i++
+		abS, baS := ru.sums[2*ci], ru.sums[2*ci+1]
+		abMin, abMax := ru.mins[2*ci], ru.maxs[2*ci]
+		baMin, baMax := ru.mins[2*ci+1], ru.maxs[2*ci+1]
+		for bi, start := range ru.starts {
+			if start < plan.t0 {
+				continue
+			}
+			if start >= plan.cut {
+				break // starts ascend; the rest is served raw
+			}
+			k := (start - plan.t0) / s
+			if k >= int64(len(wins)) {
+				return nil, corruptf(ru.meta.offset, "rollup bucket at %d beyond the map's raw range", start)
+			}
+			w := &wins[k]
+			w.n += ru.counts[bi]
+			w.ab += abS[bi]
+			w.ba += baS[bi]
+			if abMin[bi] < w.abMin {
+				w.abMin = abMin[bi]
+			}
+			if abMax[bi] > w.abMax {
+				w.abMax = abMax[bi]
+			}
+			if baMin[bi] < w.baMin {
+				w.baMin = baMin[bi]
+			}
+			if baMax[bi] > w.baMax {
+				w.baMax = baMax[bi]
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Tail: the raw points from cut on — the buckets still open (or not yet
+	// flushed) when the archive was last committed.
+	if plan.cut <= toU {
+		var tids, tgroups []int
+		for j, bi := range plan.ids {
+			if st.blocks[bi].lastUnix >= plan.cut {
+				tids = append(tids, bi)
+				tgroups = append(tgroups, plan.groups[j])
+			}
+		}
+		err := r.linkColumns(ctx, st, tids, tgroups, plan.cut, toU,
+			func(times []int64, abCol, baCol []wmap.Load) error {
+				for k2, sec := range times {
+					w := &wins[(sec-plan.t0)/s]
+					w.n++
+					ab, ba := uint8(abCol[k2]), uint8(baCol[k2])
+					w.ab += int64(ab)
+					w.ba += int64(ba)
+					if ab < w.abMin {
+						w.abMin = ab
+					}
+					if ab > w.abMax {
+						w.abMax = ab
+					}
+					if ba < w.baMin {
+						w.baMin = ba
+					}
+					if ba > w.baMax {
+						w.baMax = ba
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &loadWindows{t0: plan.t0, step: s, res: plan.res, wins: wins}, nil
+}
+
+// plannerCounters tallies which path served each load query.
+type plannerCounters struct {
+	mu        sync.Mutex
+	raw       int64
+	fallbacks int64
+	tiers     map[int64]int64
+}
+
+// PlannerStats is a point-in-time snapshot of the planner counters, exposed
+// on GET /api/v1/stats and through wmserve's expvar.
+type PlannerStats struct {
+	// Raw counts load queries served entirely from raw blocks — step
+	// missing, no divisible tier, or rollups absent/disabled.
+	Raw int64 `json:"raw"`
+	// Fallbacks counts queries the planner accepted but that degraded to
+	// the raw path on a corrupt rollup block.
+	Fallbacks int64 `json:"rollup_fallbacks"`
+	// Tiers counts queries served per rollup resolution, keyed like "1h".
+	Tiers map[string]int64 `json:"tiers"`
+}
+
+// countPlanned records one load query served from the tier at res seconds;
+// res 0 records a raw-path serve.
+func (r *Reader) countPlanned(res int64) {
+	r.planner.mu.Lock()
+	defer r.planner.mu.Unlock()
+	if res == 0 {
+		r.planner.raw++
+		return
+	}
+	if r.planner.tiers == nil {
+		r.planner.tiers = make(map[int64]int64)
+	}
+	r.planner.tiers[res]++
+}
+
+// countFallback records one corrupt-rollup degradation to the raw path.
+func (r *Reader) countFallback() {
+	r.planner.mu.Lock()
+	r.planner.fallbacks++
+	r.planner.mu.Unlock()
+}
+
+// PlannerStats reads the per-path serve counters.
+func (r *Reader) PlannerStats() PlannerStats {
+	r.planner.mu.Lock()
+	defer r.planner.mu.Unlock()
+	ps := PlannerStats{Raw: r.planner.raw, Fallbacks: r.planner.fallbacks,
+		Tiers: make(map[string]int64, len(r.planner.tiers))}
+	for res, n := range r.planner.tiers {
+		ps.Tiers[formatRes(res)] = n
+	}
+	return ps
+}
+
+// SetRollupServing enables or disables planner use of rollup tiers; with
+// serving off every load query takes the raw path. On by default. The
+// equivalence tests flip it to compare both paths over one archive.
+func (r *Reader) SetRollupServing(on bool) { r.rollupOff.Store(!on) }
+
+// formatRes renders a resolution in seconds the way operators write it:
+// whole days, hours, or minutes when exact, seconds otherwise.
+func formatRes(sec int64) string {
+	switch {
+	case sec%86400 == 0:
+		return fmt.Sprintf("%dd", sec/86400)
+	case sec%3600 == 0:
+		return fmt.Sprintf("%dh", sec/3600)
+	case sec%60 == 0:
+		return fmt.Sprintf("%dm", sec/60)
+	default:
+		return fmt.Sprintf("%ds", sec)
+	}
+}
+
+// RollupBucket is one complete bucket of a rollup tier aggregated across
+// every link direction of a map — the unit wmanalyze's long-range folds
+// consume instead of re-averaging raw points.
+type RollupBucket struct {
+	Start     time.Time // bucket start (aligned to the resolution)
+	Snapshots int64     // map snapshots aggregated into the bucket
+	Samples   int64     // load samples: snapshots × directed links, summed across topologies
+	Sum       float64   // sum of all load samples in the bucket
+	Min       float64   // smallest single-direction load seen
+	Max       float64   // largest single-direction load seen
+}
+
+// RollupTotals returns the map's complete rollup buckets at resolution res
+// whose start falls in [from, to] (zero times mean unbounded), merged
+// across topology fragments and sorted by start. Only buckets the tier has
+// provably sealed are returned — the bucket that may still be filling is
+// omitted, so totals never change retroactively as a live archive grows.
+// It fails with ErrNoRollup when the archive has no tier at res, and with
+// ErrUnknownMap for an unarchived map.
+func (r *Reader) RollupTotals(ctx context.Context, id wmap.MapID, res time.Duration, from, to time.Time) ([]RollupBucket, error) {
+	st := r.st()
+	if len(st.perMap[id]) == 0 {
+		return nil, fmt.Errorf("tsdb: map %q: %w", id, ErrUnknownMap)
+	}
+	if res <= 0 || res%time.Second != 0 {
+		return nil, fmt.Errorf("tsdb: resolution %s: %w", res, ErrNoRollup)
+	}
+	sec := int64(res / time.Second)
+	var tier *rollupTier
+	for k := range st.rollupTiers[id] {
+		if st.rollupTiers[id][k].res == sec {
+			tier = &st.rollupTiers[id][k]
+			break
+		}
+	}
+	if tier == nil {
+		return nil, fmt.Errorf("tsdb: map %s at %s: %w", id, res, ErrNoRollup)
+	}
+	fromU, toU := rangeBounds(from, to)
+	horizon := tier.maxLast - tier.maxLast%sec
+
+	type agg struct {
+		snapshots, samples int64
+		sum                int64
+		min, max           uint8
+	}
+	byStart := make(map[int64]*agg)
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := runReadAhead(rctx, len(tier.entries), defaultReadAheadWorkers(), func(i int) (cacheValue, error) {
+		return r.rollup(st, tier.entries[i], allColumns)
+	})
+	for resV := range out {
+		if resV.err != nil {
+			return nil, resV.err
+		}
+		ru := resV.v.(*decodedRollup)
+		cols := 2 * ru.meta.links
+		for bi, start := range ru.starts {
+			if start < fromU || start > toU || start+sec > horizon {
+				continue
+			}
+			a := byStart[start]
+			if a == nil {
+				a = &agg{min: math.MaxUint8}
+				byStart[start] = a
+			}
+			a.snapshots += ru.counts[bi]
+			a.samples += ru.counts[bi] * int64(cols)
+			for c := 0; c < cols; c++ {
+				a.sum += ru.sums[c][bi]
+				if ru.mins[c][bi] < a.min {
+					a.min = ru.mins[c][bi]
+				}
+				if ru.maxs[c][bi] > a.max {
+					a.max = ru.maxs[c][bi]
+				}
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bks := make([]RollupBucket, 0, len(byStart))
+	for start, a := range byStart {
+		bks = append(bks, RollupBucket{
+			Start: time.Unix(start, 0).UTC(), Snapshots: a.snapshots,
+			Samples: a.samples, Sum: float64(a.sum),
+			Min: float64(a.min), Max: float64(a.max),
+		})
+	}
+	sort.Slice(bks, func(a, b int) bool { return bks[a].Start.Before(bks[b].Start) })
+	return bks, nil
+}
+
+// suggestStep computes the over-cap hint on the load endpoint: the
+// smallest step that brings a raw range under the response cap, rounded up
+// to a resolution the planner can serve from a rollup tier when one exists.
+func suggestStep(st *readerState, id wmap.MapID, from, to time.Time, rawPoints, maxPoints int) time.Duration {
+	fromU, toU := rangeBounds(from, to)
+	if f, t, ok := st.bounds(id); ok {
+		if fu := f.Unix(); fromU < fu {
+			fromU = fu
+		}
+		if tu := t.Unix(); toU > tu {
+			toU = tu
+		}
+	}
+	span := toU - fromU
+	if span <= 0 || rawPoints <= 0 || maxPoints <= 0 {
+		return time.Hour
+	}
+	// Each emitted window carries two directed points; need windows ≤ cap/2.
+	need := span * 2 / int64(maxPoints)
+	if need < 1 {
+		need = 1
+	}
+	var coarsest int64
+	for _, tier := range st.rollupTiers[id] {
+		if tier.res >= need {
+			return time.Duration(tier.res) * time.Second
+		}
+		if tier.res > coarsest {
+			coarsest = tier.res
+		}
+	}
+	if coarsest > 0 {
+		// Round up to a multiple of the coarsest tier so the planner still
+		// serves the suggestion from rollups.
+		need = (need + coarsest - 1) / coarsest * coarsest
+	}
+	return time.Duration(need) * time.Second
+}

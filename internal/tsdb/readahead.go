@@ -12,9 +12,10 @@ import (
 // parallel path byte-identical to the sequential one (proven by
 // TestArchiveEquivalence and TestCursorParallelMatchesSequential).
 
-// fetchResult is one decoded block or the error that stopped its decode.
+// fetchResult is one decoded value (raw block or rollup block) or the
+// error that stopped its decode.
 type fetchResult struct {
-	db  *decodedBlock
+	v   cacheValue
 	err error
 }
 
@@ -25,23 +26,31 @@ const readAheadSlack = 2
 
 // startReadAhead decodes blocks ids[i] (with column group group(i)) on up
 // to workers goroutines and returns a channel delivering the results in
-// ids order. The pipeline stops when ctx is cancelled: every goroutine
-// selects on ctx.Done, so a disconnected client or an abandoned cursor
-// unwinds the pool without leaking. When the returned channel closes, the
-// consumer must check ctx.Err() to tell natural completion from
-// cancellation. After an error result the channel closes — later blocks
-// are not delivered.
+// ids order; see runReadAhead for the pipeline contract.
 func (r *Reader) startReadAhead(ctx context.Context, st *readerState, ids []int, group func(i int) int, workers int) <-chan fetchResult {
+	return runReadAhead(ctx, len(ids), workers, func(i int) (cacheValue, error) {
+		return r.block(st, ids[i], group(i))
+	})
+}
+
+// runReadAhead fetches items 0..n-1 on up to workers goroutines and
+// returns a channel delivering the results in input order. The pipeline
+// stops when ctx is cancelled: every goroutine selects on ctx.Done, so a
+// disconnected client or an abandoned cursor unwinds the pool without
+// leaking. When the returned channel closes, the consumer must check
+// ctx.Err() to tell natural completion from cancellation. After an error
+// result the channel closes — later items are not delivered.
+func runReadAhead(ctx context.Context, n, workers int, fetch func(i int) (cacheValue, error)) <-chan fetchResult {
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(ids) {
-		workers = len(ids)
+	if workers > n {
+		workers = n
 	}
 	// Per-slot buffered channels restore order: worker i publishes into
 	// slots[i] (capacity 1, so the send never blocks), the forwarder drains
 	// slots in sequence. sem caps how far decoding may run ahead.
-	slots := make([]chan fetchResult, len(ids))
+	slots := make([]chan fetchResult, n)
 	for i := range slots {
 		slots[i] = make(chan fetchResult, 1)
 	}
@@ -50,7 +59,7 @@ func (r *Reader) startReadAhead(ctx context.Context, st *readerState, ids []int,
 
 	go func() { // dispatcher
 		defer close(jobs)
-		for i := range ids {
+		for i := 0; i < n; i++ {
 			select {
 			case sem <- struct{}{}:
 			case <-ctx.Done():
@@ -69,8 +78,8 @@ func (r *Reader) startReadAhead(ctx context.Context, st *readerState, ids []int,
 				if ctx.Err() != nil {
 					return
 				}
-				db, err := r.block(st, ids[i], group(i))
-				slots[i] <- fetchResult{db: db, err: err}
+				v, err := fetch(i)
+				slots[i] <- fetchResult{v: v, err: err}
 			}
 		}()
 	}

@@ -55,6 +55,12 @@ type Reader struct {
 	// Queries never take it — they only load the atomic pointer.
 	refreshMu sync.Mutex
 	state     atomic.Pointer[readerState]
+
+	// planner tallies which path served each load query; rollupOff, when
+	// set via SetRollupServing(false), makes the planner decline every
+	// query so everything takes the raw path. See planner.go.
+	planner   plannerCounters
+	rollupOff atomic.Bool
 }
 
 // readerState is one committed view of the archive: everything parsed from
@@ -66,14 +72,26 @@ type readerState struct {
 	strs    []string
 	topos   []*topology
 	blocks  []blockMeta
+	rollups []rollupMeta
 	perMap  map[wmap.MapID][]int // block indexes, chronological
-	mapIDs  []wmap.MapID
-	fp      uint64 // fingerprint: FNV-1a over size and footer/checkpoint payload
-	version uint64 // checkpoint commit version; 0 when parsed from a footer
-	live    bool   // state came from a checkpoint (archive may still grow)
+	// rollupTiers groups each map's rollup blocks by resolution, ascending;
+	// within a tier entries are chronological by first bucket. The planner
+	// walks tiers coarsest-first.
+	rollupTiers map[wmap.MapID][]rollupTier
+	mapIDs      []wmap.MapID
+	fp          uint64 // fingerprint: FNV-1a over size and footer/checkpoint payload
+	version     uint64 // checkpoint commit version; 0 when parsed from a footer
+	live        bool   // state came from a checkpoint (archive may still grow)
 
 	linkDirOnce sync.Once
 	linkDir     map[string]linkAddr
+}
+
+// rollupTier is one map's rollup blocks at one resolution.
+type rollupTier struct {
+	res     int64
+	entries []int // rollup indexes, sorted by (firstBucket, offset)
+	maxLast int64 // newest raw point any entry of the tier aggregates
 }
 
 // linkAddr locates a query-API link id: the map and the in-map key.
@@ -183,11 +201,17 @@ func (r *Reader) Refresh() (changed bool, err error) {
 	if ns.fp == cur.fp {
 		return false, nil
 	}
-	if len(ns.blocks) < len(cur.blocks) || len(ns.strs) < len(cur.strs) || len(ns.topos) < len(cur.topos) {
+	if len(ns.blocks) < len(cur.blocks) || len(ns.strs) < len(cur.strs) ||
+		len(ns.topos) < len(cur.topos) || len(ns.rollups) < len(cur.rollups) {
 		return false, ErrArchiveReplaced
 	}
 	for i := range cur.blocks {
 		if ns.blocks[i] != cur.blocks[i] {
+			return false, ErrArchiveReplaced
+		}
+	}
+	for i := range cur.rollups {
+		if ns.rollups[i] != cur.rollups[i] {
 			return false, ErrArchiveReplaced
 		}
 	}
@@ -269,9 +293,10 @@ func parseClosed(r io.ReaderAt, size int64) (*readerState, error) {
 
 // footerData is the raw parsed content of a footer or checkpoint payload.
 type footerData struct {
-	strs   []string
-	topos  []*topology
-	blocks []blockMeta
+	strs    []string
+	topos   []*topology
+	blocks  []blockMeta
+	rollups []rollupMeta
 }
 
 // parseFooterData decodes a footer payload: the string table, the
@@ -328,6 +353,31 @@ func parseFooterData(payload []byte, payloadOff, dataEnd int64) (*footerData, er
 		}
 		fd.blocks = append(fd.blocks, m)
 	}
+
+	// A payload that ends here is the v1 (PR 3–6) format: no rollup index,
+	// queries plan against raw blocks only. Otherwise a versioned suffix
+	// carries the rollup index.
+	if d.remaining() != 0 {
+		ver, err := d.uvarint("footer version")
+		if err != nil {
+			return nil, err
+		}
+		if ver != footerVersionRollups {
+			return nil, corruptf(d.abs(), "unsupported footer version %d", ver)
+		}
+		nroll, err := d.count("rollup index")
+		if err != nil {
+			return nil, err
+		}
+		fd.rollups = make([]rollupMeta, 0, nroll)
+		for i := 0; i < nroll; i++ {
+			m, err := fd.parseRollupMeta(d, dataEnd)
+			if err != nil {
+				return nil, err
+			}
+			fd.rollups = append(fd.rollups, m)
+		}
+	}
 	if d.remaining() != 0 {
 		return nil, corruptf(d.abs(), "%d trailing bytes after footer", d.remaining())
 	}
@@ -338,18 +388,54 @@ func parseFooterData(payload []byte, payloadOff, dataEnd int64) (*footerData, er
 // data and validates the cross-block invariants.
 func buildState(fd *footerData, size int64, fp, version uint64, live bool) (*readerState, error) {
 	st := &readerState{
-		size:    size,
-		strs:    fd.strs,
-		topos:   fd.topos,
-		blocks:  fd.blocks,
-		perMap:  make(map[wmap.MapID][]int),
-		fp:      fp,
-		version: version,
-		live:    live,
+		size:        size,
+		strs:        fd.strs,
+		topos:       fd.topos,
+		blocks:      fd.blocks,
+		rollups:     fd.rollups,
+		perMap:      make(map[wmap.MapID][]int),
+		rollupTiers: make(map[wmap.MapID][]rollupTier),
+		fp:          fp,
+		version:     version,
+		live:        live,
 	}
 	for i := range st.blocks {
 		id := wmap.MapID(st.strs[st.blocks[i].mapRef])
 		st.perMap[id] = append(st.perMap[id], i)
+	}
+	for i := range st.rollups {
+		m := &st.rollups[i]
+		id := wmap.MapID(st.strs[m.mapRef])
+		tiers := st.rollupTiers[id]
+		ti := -1
+		for k := range tiers {
+			if tiers[k].res == m.res {
+				ti = k
+				break
+			}
+		}
+		if ti < 0 {
+			tiers = append(tiers, rollupTier{res: m.res})
+			ti = len(tiers) - 1
+		}
+		tiers[ti].entries = append(tiers[ti].entries, i)
+		if m.lastPoint > tiers[ti].maxLast {
+			tiers[ti].maxLast = m.lastPoint
+		}
+		st.rollupTiers[id] = tiers
+	}
+	for _, tiers := range st.rollupTiers {
+		sort.Slice(tiers, func(a, b int) bool { return tiers[a].res < tiers[b].res })
+		for k := range tiers {
+			es := tiers[k].entries
+			sort.Slice(es, func(a, b int) bool {
+				ra, rb := &st.rollups[es[a]], &st.rollups[es[b]]
+				if ra.firstBucket != rb.firstBucket {
+					return ra.firstBucket < rb.firstBucket
+				}
+				return ra.offset < rb.offset
+			})
+		}
 	}
 	for id, bl := range st.perMap {
 		sort.Slice(bl, func(a, b int) bool { return st.blocks[bl[a]].baseUnix < st.blocks[bl[b]].baseUnix })
@@ -516,10 +602,11 @@ func (r *Reader) Snapshots(id wmap.MapID) int {
 func (r *Reader) Stats() ArchiveStats {
 	st := r.st()
 	s := ArchiveStats{
-		Blocks:     len(st.blocks),
-		Topologies: len(st.topos),
-		Strings:    len(st.strs),
-		Bytes:      st.size,
+		Blocks:       len(st.blocks),
+		RollupBlocks: len(st.rollups),
+		Topologies:   len(st.topos),
+		Strings:      len(st.strs),
+		Bytes:        st.size,
 	}
 	for i := range st.blocks {
 		s.Snapshots += st.blocks[i].points
@@ -582,21 +669,51 @@ func (r *Reader) block(st *readerState, bi, group int) (*decodedBlock, error) {
 		return r.decodeBlock(st, bi, groupWant(group))
 	}
 	if group != allColumns {
-		if db, ok := r.cache.get(cacheKey{arch: r.cacheID, block: bi, group: allColumns}); ok {
-			return db, nil
+		if v, ok := r.cache.get(cacheKey{arch: r.cacheID, kind: kindRaw, block: bi, group: allColumns}); ok {
+			return v.(*decodedBlock), nil
 		}
 	}
-	return r.cache.getOrLoad(cacheKey{arch: r.cacheID, block: bi, group: group}, func() (*decodedBlock, error) {
+	v, err := r.cache.getOrLoad(cacheKey{arch: r.cacheID, kind: kindRaw, block: bi, group: group}, func() (cacheValue, error) {
 		return r.decodeBlock(st, bi, groupWant(group))
 	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*decodedBlock), nil
+}
+
+// rollup returns rollup block ri of st with the given column group decoded,
+// through the cache when one is attached — the same probe-then-load dance
+// as block, under kindRollup keys.
+func (r *Reader) rollup(st *readerState, ri, group int) (*decodedRollup, error) {
+	if r.cache == nil {
+		return decodeRollupAt(r.r, st.size, &st.rollups[ri], groupWant(group))
+	}
+	if group != allColumns {
+		if v, ok := r.cache.get(cacheKey{arch: r.cacheID, kind: kindRollup, block: ri, group: allColumns}); ok {
+			return v.(*decodedRollup), nil
+		}
+	}
+	v, err := r.cache.getOrLoad(cacheKey{arch: r.cacheID, kind: kindRollup, block: ri, group: group}, func() (cacheValue, error) {
+		return decodeRollupAt(r.r, st.size, &st.rollups[ri], groupWant(group))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*decodedRollup), nil
 }
 
 // decodeBlock reads and decodes one block. want selects load columns by
 // column index (nil means all); unselected columns are skipped without
 // decoding — the columnar payoff for single-link queries.
 func (r *Reader) decodeBlock(st *readerState, bi int, want func(ci int) bool) (*decodedBlock, error) {
-	meta := &st.blocks[bi]
-	frame, err := readAtFull(r.r, st.size, meta.offset, frameOverhead+meta.payloadLen)
+	return decodeBlockAt(r.r, st.size, &st.blocks[bi], want)
+}
+
+// decodeBlockAt is decodeBlock against any readable source: the writer's
+// rollup rebuild replays raw blocks through it without opening a Reader.
+func decodeBlockAt(r io.ReaderAt, size int64, meta *blockMeta, want func(ci int) bool) (*decodedBlock, error) {
+	frame, err := readAtFull(r, size, meta.offset, frameOverhead+meta.payloadLen)
 	if err != nil {
 		return nil, err
 	}
@@ -875,7 +992,7 @@ func (r *Reader) linkColumns(ctx context.Context, st *readerState, ids, groups [
 		if res.err != nil {
 			return res.err
 		}
-		db, ci := res.db, groups[i]
+		db, ci := res.v.(*decodedBlock), groups[i]
 		i++
 		lo := sort.Search(len(db.times), func(i int) bool { return db.times[i] >= fromU })
 		hi := sort.Search(len(db.times), func(i int) bool { return db.times[i] > toU })

@@ -416,6 +416,18 @@ func TestEveryByteFlipDetected(t *testing.T) {
 				detected = true
 			}
 		}
+		// Cursor walks never touch rollup frames; decode each one too so
+		// flips inside them must also surface typed.
+		st := rd.st()
+		for ri := range st.rollups {
+			if _, err := decodeRollupAt(rd.r, st.size, &st.rollups[ri], nil); err != nil {
+				var ce *CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("flip at %d: rollup decode error %v is not *CorruptError", i, err)
+				}
+				detected = true
+			}
+		}
 		if !detected {
 			t.Errorf("flip at byte %d went undetected", i)
 		}

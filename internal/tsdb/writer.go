@@ -42,12 +42,15 @@ type openBlock struct {
 }
 
 // ArchiveStats summarizes an archive for logs, tests, and benchmarks.
+// Blocks counts raw blocks only; RollupBlocks counts the pre-aggregated
+// rollup blocks interleaved with them.
 type ArchiveStats struct {
-	Blocks     int
-	Snapshots  int
-	Topologies int
-	Strings    int
-	Bytes      int64
+	Blocks       int
+	RollupBlocks int
+	Snapshots    int
+	Topologies   int
+	Strings      int
+	Bytes        int64
 }
 
 // Writer builds an archive by appending snapshots. Appends must be
@@ -82,11 +85,23 @@ type Writer struct {
 	last  map[wmap.MapID]int64
 	index []blockMeta
 
+	// Rollup tier state; see rollup.go. rollupReady flips at the first
+	// append/sync/close, after which the resolutions are frozen and (on a
+	// resumed archive) the accumulators have been rebuilt from raw blocks.
+	rollupRes   []int64 // tier resolutions in seconds, ascending
+	rollupReady bool
+	rollups     []rollupMeta
+	accs        map[wmap.MapID][]*rollupAcc
+
 	snapshots int
 }
 
 // NewWriter returns a Writer emitting the archive to w.
 func NewWriter(w io.Writer) *Writer {
+	res := make([]int64, len(DefaultRollupResolutions))
+	for i, r := range DefaultRollupResolutions {
+		res[i] = int64(r / time.Second)
+	}
 	return &Writer{
 		w:           w,
 		blockPoints: DefaultBlockPoints,
@@ -94,6 +109,8 @@ func NewWriter(w io.Writer) *Writer {
 		topoByFP:    make(map[uint64][]int),
 		open:        make(map[wmap.MapID]*openBlock),
 		last:        make(map[wmap.MapID]int64),
+		rollupRes:   res,
+		accs:        make(map[wmap.MapID][]*rollupAcc),
 	}
 }
 
@@ -228,14 +245,20 @@ func (w *Writer) recoverCheckpoint(ck *checkpoint) error {
 	return nil
 }
 
-// verifyTailBlock re-checks the final committed block's frame against the
-// checkpoint's index: blocks are written contiguously and the checkpoint
-// commits right after a flush, so the highest-offset block must end exactly
-// at the committed offset with a valid checksum. This is the cheap
-// integrity probe of recovery — damage deeper in the committed prefix is
-// still caught by per-block CRCs at read time.
+// verifyTailBlock re-checks the committed tail against the checkpoint's
+// indexes: frames are written contiguously and the checkpoint commits
+// right after a flush event, so the highest-offset frame — raw block or
+// rollup block — must end exactly at the committed offset. The last raw
+// block and every rollup frame past it (a flush event writes its rollup
+// fragments right after the raw block) are re-verified against their
+// checksums, so a torn write anywhere in the committed tail surfaces here
+// as a *CorruptError. Damage deeper in the committed prefix is still
+// caught by per-block CRCs at read time.
 func verifyTailBlock(r io.ReaderAt, fd *footerData, dataEnd int64) error {
 	if len(fd.blocks) == 0 {
+		if len(fd.rollups) != 0 {
+			return corruptf(dataEnd, "checkpoint indexes rollup blocks but no raw blocks")
+		}
 		if dataEnd != int64(len(headerMagic)) {
 			return corruptf(dataEnd, "checkpoint commits %d bytes but indexes no blocks", dataEnd)
 		}
@@ -247,19 +270,46 @@ func verifyTailBlock(r io.ReaderAt, fd *footerData, dataEnd int64) error {
 			last = &fd.blocks[1+i]
 		}
 	}
-	if end := last.offset + frameOverhead + int64(last.payloadLen); end != dataEnd {
-		return corruptf(dataEnd, "last committed block ends at %d, checkpoint commits %d", end, dataEnd)
+	end := last.offset + frameOverhead + int64(last.payloadLen)
+	// Rollup frames written after the last raw block extend the tail; each
+	// must be contiguous with and checked like the block before it.
+	var tailRollups []*rollupMeta
+	for i := range fd.rollups {
+		if fd.rollups[i].offset > last.offset {
+			tailRollups = append(tailRollups, &fd.rollups[i])
+		}
 	}
-	frame, err := readAtFull(r, dataEnd, last.offset, frameOverhead+last.payloadLen)
-	if err != nil {
+	sort.Slice(tailRollups, func(a, b int) bool { return tailRollups[a].offset < tailRollups[b].offset })
+	for _, m := range tailRollups {
+		if m.offset != end {
+			return corruptf(m.offset, "rollup frame at %d not contiguous with committed tail at %d", m.offset, end)
+		}
+		end = m.offset + frameOverhead + int64(m.payloadLen)
+	}
+	if end != dataEnd {
+		return corruptf(dataEnd, "last committed frame ends at %d, checkpoint commits %d", end, dataEnd)
+	}
+	verify := func(offset int64, payloadLen int, what string) error {
+		frame, err := readAtFull(r, dataEnd, offset, frameOverhead+payloadLen)
+		if err != nil {
+			return err
+		}
+		if got := binary.LittleEndian.Uint32(frame[:4]); int(got) != payloadLen {
+			return corruptf(offset, "%s length prefix %d disagrees with index's %d", what, got, payloadLen)
+		}
+		payload := frame[4 : 4+payloadLen]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frame[4+payloadLen:]) {
+			return corruptf(offset, "committed %s checksum mismatch", what)
+		}
+		return nil
+	}
+	if err := verify(last.offset, last.payloadLen, "block"); err != nil {
 		return err
 	}
-	if got := binary.LittleEndian.Uint32(frame[:4]); int(got) != last.payloadLen {
-		return corruptf(last.offset, "block length prefix %d disagrees with index's %d", got, last.payloadLen)
-	}
-	payload := frame[4 : 4+last.payloadLen]
-	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frame[4+last.payloadLen:]) {
-		return corruptf(last.offset, "last committed block checksum mismatch")
+	for _, m := range tailRollups {
+		if err := verify(m.offset, m.payloadLen, "rollup block"); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -277,6 +327,7 @@ func (w *Writer) restore(fd *footerData) {
 		w.topoByFP[fp] = append(w.topoByFP[fp], i)
 	}
 	w.index = fd.blocks
+	w.rollups = fd.rollups
 	for i := range fd.blocks {
 		m := &fd.blocks[i]
 		id := wmap.MapID(fd.strs[m.mapRef])
@@ -298,11 +349,12 @@ func (w *Writer) SetBlockPoints(n int) {
 // Stats returns the running totals; Bytes is final only after Close.
 func (w *Writer) Stats() ArchiveStats {
 	return ArchiveStats{
-		Blocks:     len(w.index),
-		Snapshots:  w.snapshots,
-		Topologies: len(w.topos),
-		Strings:    len(w.strs),
-		Bytes:      w.off,
+		Blocks:       len(w.index),
+		RollupBlocks: len(w.rollups),
+		Snapshots:    w.snapshots,
+		Topologies:   len(w.topos),
+		Strings:      len(w.strs),
+		Bytes:        w.off,
 	}
 }
 
@@ -370,23 +422,44 @@ func (w *Writer) Append(m *wmap.Map) error {
 				m.ID, m.Time.UTC(), i, l.A, l.B)
 		}
 	}
+	if err := w.ensureRollupState(); err != nil {
+		return err
+	}
 	ti, err := w.internTopology(m)
 	if err != nil {
 		return err
 	}
+	// Flush events happen before the new point is accumulated anywhere, so
+	// the rollup state observed at a raw-block flush is identical whether
+	// the flush was triggered by rotation here or by an earlier Sync — the
+	// invariant behind live-vs-batch byte identity.
+	topoChanged := w.rollupEnabled() && w.rollupTopoChanged(m.ID, ti)
 	ob := w.open[m.ID]
+	rotated := false
 	if ob != nil && (ob.topoIndex != ti || len(ob.times) >= w.blockPoints) {
 		if err := w.flushBlock(m.ID, ob); err != nil {
 			return err
 		}
+		rotated = true
+		ob = nil
+	}
+	if topoChanged {
+		for _, acc := range w.accs[m.ID] {
+			acc.retire(ti)
+		}
+	}
+	if rotated || topoChanged {
+		if err := w.flushRollups(m.ID, false); err != nil {
+			return err
+		}
 		// A live archive publishes a durable commit after every block that
-		// rotates out, so tailing readers lag by at most one open block.
+		// rotates out (and after topology-change fragments), so tailing
+		// readers lag by at most one open block.
 		if w.live {
 			if err := w.commit(); err != nil {
 				return err
 			}
 		}
-		ob = nil
 	}
 	if ob == nil {
 		ob = &openBlock{topoIndex: ti, cols: make([][]uint8, 2*len(m.Links))}
@@ -396,6 +469,9 @@ func (w *Writer) Append(m *wmap.Map) error {
 	for i, l := range m.Links {
 		ob.cols[2*i] = append(ob.cols[2*i], uint8(l.LoadAB))
 		ob.cols[2*i+1] = append(ob.cols[2*i+1], uint8(l.LoadBA))
+	}
+	if w.rollupEnabled() {
+		w.rollupAdd(m.ID, ti, t, m.Links)
 	}
 	w.last[m.ID] = t
 	w.snapshots++
@@ -547,6 +623,24 @@ func (w *Writer) encodeFooter() []byte {
 		buf = binary.AppendUvarint(buf, uint64(m.points))
 		buf = binary.AppendUvarint(buf, uint64(m.links))
 	}
+
+	// Versioned suffix: the rollup index. A v1 footer ends at the block
+	// index; readers treat "no bytes left" as v1 (no rollups), so PR 3–6
+	// archives keep opening read-only with planner fallback.
+	buf = binary.AppendUvarint(buf, footerVersionRollups)
+	buf = binary.AppendUvarint(buf, uint64(len(w.rollups)))
+	for _, m := range w.rollups {
+		buf = binary.AppendUvarint(buf, m.mapRef)
+		buf = binary.AppendUvarint(buf, uint64(m.res))
+		buf = binary.AppendUvarint(buf, uint64(m.offset))
+		buf = binary.AppendUvarint(buf, uint64(m.payloadLen))
+		buf = binary.AppendUvarint(buf, uint64(m.topoIndex))
+		buf = binary.AppendUvarint(buf, uint64(m.firstBucket))
+		buf = binary.AppendUvarint(buf, uint64(m.lastBucket))
+		buf = binary.AppendUvarint(buf, uint64(m.lastPoint))
+		buf = binary.AppendUvarint(buf, uint64(m.buckets))
+		buf = binary.AppendUvarint(buf, uint64(m.links))
+	}
 	return buf
 }
 
@@ -615,6 +709,9 @@ func (w *Writer) Sync() error {
 	if err := w.ensureHeader(); err != nil {
 		return err
 	}
+	if err := w.ensureRollupState(); err != nil {
+		return err
+	}
 	if err := w.flushOpen(); err != nil {
 		return err
 	}
@@ -669,6 +766,11 @@ func (w *Writer) flushOpen() error {
 			return err
 		}
 		delete(w.open, wmap.MapID(id))
+		// The same flush event a rotation fires: whether a raw block lands
+		// here or in Append, the rollup flush decision sees the same state.
+		if err := w.flushRollups(wmap.MapID(id), false); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -677,7 +779,15 @@ func (w *Writer) finish() error {
 	if err := w.ensureHeader(); err != nil {
 		return err
 	}
+	if err := w.ensureRollupState(); err != nil {
+		return err
+	}
 	if err := w.flushOpen(); err != nil {
+		return err
+	}
+	// Drain every remaining sealed bucket; partial current buckets are
+	// discarded — their points replay from raw blocks on a future resume.
+	if err := w.flushFinalRollups(); err != nil {
 		return err
 	}
 	if w.live {
