@@ -246,6 +246,23 @@ func renderAnalyses(t *testing.T, stream analysis.Stream) string {
 		t.Fatal(err)
 	}
 	analysis.WriteInfraSeries(&sb, infra, time.Hour)
+	// The studies that now fold through the shared event-detector
+	// primitives (events.ChurnTracker, EachDirection, UpgradeTracker):
+	// their figures must stay byte-identical across every ingest path.
+	churn, err := analysis.ChurnStudy(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.WriteChurn(&sb, churn)
+	cong, err := analysis.CongestionStudy(stream, analysis.DefaultCongestionOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.WriteCongestion(&sb, cong)
+	upg, err := analysis.UpgradeStudy(stream, "AMS-IX", nil)
+	if err == nil {
+		analysis.WriteUpgrade(&sb, upg)
+	}
 	return sb.String()
 }
 

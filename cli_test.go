@@ -30,6 +30,7 @@ func TestCommandLineTools(t *testing.T) {
 	wmparse := build("wmparse")
 	wmanalyze := build("wmanalyze")
 	wmdiff := build("wmdiff")
+	wmevents := build("wmevents")
 
 	data := t.TempDir()
 
@@ -92,6 +93,40 @@ func TestCommandLineTools(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "topology unchanged") {
 		t.Errorf("wmdiff output: %s", out)
+	}
+
+	// Archive the dataset and list its evolution events. The short window
+	// may legitimately detect nothing; what must hold is a clean exit
+	// either way and a typed refusal on a disabled event log.
+	arch := filepath.Join(t.TempDir(), "cli.tsdb")
+	out, err = exec.Command(wmparse,
+		"-data", data, "-maps", "asia-pacific", "-quiet", "-archive", arch,
+	).CombinedOutput()
+	if err != nil && !strings.Contains(string(out), "failures)") {
+		t.Fatalf("wmparse -archive: %v\n%s", err, out)
+	}
+	// The quiet 2-hour window may detect nothing, in which case no event
+	// frame is written and the archive is indistinguishable from an
+	// event-less one — both refusals are clean exits.
+	out, err = exec.Command(wmevents, "-archive", arch).CombinedOutput()
+	if err != nil && !strings.Contains(string(out), "no events match") &&
+		!strings.Contains(string(out), "no event log") {
+		t.Fatalf("wmevents: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(wmevents, "-archive", arch, "-type", "earthquake").CombinedOutput(); err == nil {
+		t.Errorf("wmevents with bad -type should fail:\n%s", out)
+	}
+	noEv := filepath.Join(t.TempDir(), "noev.tsdb")
+	out, err = exec.Command(wmparse,
+		"-data", data, "-maps", "asia-pacific", "-quiet", "-archive", noEv, "-events=false",
+	).CombinedOutput()
+	if err != nil && !strings.Contains(string(out), "failures)") {
+		t.Fatalf("wmparse -events=false: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(wmevents, "-archive", noEv).CombinedOutput(); err == nil {
+		t.Errorf("wmevents on an event-less archive should exit nonzero:\n%s", out)
+	} else if !strings.Contains(string(out), "no event log") {
+		t.Errorf("wmevents on an event-less archive: %s", out)
 	}
 
 	// Bad flags must fail cleanly.

@@ -1,0 +1,124 @@
+// Command wmevents lists the evolution events persisted in a tsdb archive:
+// topology churn, capacity upgrades, maintenance drains, and congestion
+// onset/clear, as detected at write time by wmparse (see internal/events).
+// It is the command-line view of GET /api/v1/events.
+//
+// Usage:
+//
+//	wmevents -archive FILE [-map europe] [-type churn,congestion-onset]
+//	         [-from RFC3339] [-to RFC3339] [-json]
+//
+// Events print one per line in time order; -json emits one JSON object per
+// line instead. Exit status is 0 when events were printed, 1 when the
+// filter matched nothing or the archive holds no event log, 2 on usage or
+// archive errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"ovhweather/internal/events"
+	"ovhweather/internal/tsdb"
+	"ovhweather/internal/wmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wmevents: ")
+
+	var (
+		archive = flag.String("archive", "", "tsdb archive `file` (required)")
+		mapStr  = flag.String("map", "", "restrict to one map (default: all archived maps)")
+		typeStr = flag.String("type", "", "comma-separated event types (churn, upgrade, maintenance, congestion-onset, congestion-clear)")
+		fromStr = flag.String("from", "", "window start (RFC3339)")
+		toStr   = flag.String("to", "", "window end (RFC3339)")
+		asJSON  = flag.Bool("json", false, "emit one JSON object per event instead of text")
+	)
+	flag.Parse()
+	if *archive == "" {
+		flag.Usage()
+		log.Fatal("missing -archive")
+	}
+	os.Exit(run(os.Stdout, *archive, *mapStr, *typeStr, *fromStr, *toStr, *asJSON))
+}
+
+func run(out *os.File, archive, mapStr, typeStr, fromStr, toStr string, asJSON bool) int {
+	var f tsdb.EventFilter
+	if mapStr != "" {
+		id, err := wmap.ParseMapID(mapStr)
+		if err != nil {
+			id = wmap.MapID(mapStr) // archives may hold non-backbone ids
+		}
+		f.Map = id
+	}
+	if typeStr != "" {
+		for _, part := range strings.Split(typeStr, ",") {
+			ty, err := events.ParseType(strings.TrimSpace(part))
+			if err != nil {
+				log.Print(err)
+				return 2
+			}
+			f.Types = append(f.Types, ty)
+		}
+	}
+	var err error
+	if f.From, err = parseTime(fromStr); err != nil {
+		log.Printf("bad -from: %v", err)
+		return 2
+	}
+	if f.To, err = parseTime(toStr); err != nil {
+		log.Printf("bad -to: %v", err)
+		return 2
+	}
+
+	rd, err := tsdb.OpenFile(archive)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	defer rd.Close()
+	if rd.EventFrames() == 0 {
+		log.Print(tsdb.ErrNoEvents)
+		return 1
+	}
+	evs, err := rd.Events(context.Background(), f)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	if len(evs) == 0 {
+		log.Print("no events match the filter")
+		return 1
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		for i := range evs {
+			if err := enc.Encode(&evs[i]); err != nil {
+				log.Print(err)
+				return 2
+			}
+		}
+		return 0
+	}
+	for i := range evs {
+		ev := &evs[i]
+		fmt.Fprintf(out, "%s  %-16s %-9s %s\n",
+			ev.Time.Format(time.RFC3339), ev.Type, ev.Map, ev.Summary())
+	}
+	return 0
+}
+
+// parseTime parses an optional RFC3339 flag value; empty means unset.
+func parseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	return time.Parse(time.RFC3339, s)
+}

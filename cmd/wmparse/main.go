@@ -18,7 +18,12 @@
 // earlier run — into a columnar tsdb archive (see internal/tsdb), the input
 // of wmanalyze -archive and the wmserve query API. The archive also carries
 // pre-aggregated rollup tiers for long-range queries; -rollups picks the
-// tier resolutions (default 1h,24h; "off" disables them).
+// tier resolutions (default 1h,24h; "off" disables them). Evolution-event
+// detectors (topology churn, capacity upgrades, maintenance drains,
+// congestion onset/clear — see internal/events) run at write time and
+// persist their event log alongside the series; -events=false turns them
+// off. The log feeds wmevents, GET /api/v1/events, and wmserve's SSE
+// stream.
 //
 // -follow (requires -archive) turns the one-shot run into a live ingester:
 // the archive is opened in append mode (resuming whatever a previous run —
@@ -32,8 +37,8 @@
 // Usage:
 //
 //	wmparse -data DIR [-maps europe,...] [-workers N] [-threshold 40]
-//	        [-archive FILE] [-rollups 1h,24h] [-follow] [-poll 2s] [-std-decoder]
-//	        [-cpuprofile FILE] [-memprofile FILE] [-quiet]
+//	        [-archive FILE] [-rollups 1h,24h] [-events] [-follow] [-poll 2s]
+//	        [-std-decoder] [-cpuprofile FILE] [-memprofile FILE] [-quiet]
 package main
 
 import (
@@ -70,6 +75,7 @@ func main() {
 		stdDecoder = flag.Bool("std-decoder", false, "parse with encoding/xml instead of the fast lexer")
 		archive    = flag.String("archive", "", "also write a columnar tsdb archive to `file`")
 		rollups    = flag.String("rollups", "1h,24h", "comma-separated rollup tier resolutions for -archive (off disables)")
+		evDetect   = flag.Bool("events", true, "run the evolution-event detectors and persist their event log in -archive")
 		follow     = flag.Bool("follow", false, "keep running: append snapshots to the archive as they land in -data")
 		poll       = flag.Duration("poll", 2*time.Second, "directory re-scan interval in -follow mode")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
@@ -94,7 +100,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	code, err := run(*dir, *mapsStr, *workers, *threshold, *colors, *quiet, *archive, *rollups, *follow, *poll)
+	code, err := run(*dir, *mapsStr, *workers, *threshold, *colors, *quiet, *archive, *rollups, *evDetect, *follow, *poll)
 	if perr := stopProf(); perr != nil {
 		log.Print(perr)
 		if code == 0 {
@@ -127,7 +133,7 @@ func parseRollups(s string) ([]time.Duration, error) {
 	return out, nil
 }
 
-func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool, archive, rollups string, follow bool, poll time.Duration) (int, error) {
+func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool, archive, rollups string, evDetect, follow bool, poll time.Duration) (int, error) {
 	store, err := dataset.Open(dir)
 	if err != nil {
 		return 1, err
@@ -168,6 +174,13 @@ func run(dir, mapsStr string, workers int, threshold float64, colors, quiet bool
 		}
 		if err := arch.SetRollupResolutions(tiers...); err != nil {
 			return 1, err
+		}
+		// Event detection is on by default; -events=false strips the event
+		// log entirely (the archive stays readable by every consumer).
+		if !evDetect {
+			if err := arch.SetEventDetection(false, nil); err != nil {
+				return 1, err
+			}
 		}
 	}
 

@@ -19,19 +19,26 @@
 //	GET /api/v1/topology?map=&at=
 //	GET /api/v1/links/{id}/load?from=&to=&step=
 //	GET /api/v1/imbalance?map=&at=
+//	GET /api/v1/events?map=&type=&from=&to=
+//	GET /api/v1/stream              (SSE, -live only)
 //	GET /api/v1/stats
 //
 // Archive queries serve decoded blocks from a sharded in-process LRU sized
 // by -block-cache (default 64 MiB, 0 disables); cache hit/miss/eviction
 // counters are visible on /api/v1/stats and, with the rest of the
-// process's expvar state, on /debug/vars.
+// process's expvar state (including tsdb_events), on /debug/vars.
 //
 // -live tails an archive that a concurrent `wmparse -follow` (or wmcollect
 // -archive) is still appending to: every -refresh interval the reader
 // adopts newly committed blocks, /api/v1/stats advertises the growing
 // covered time range, and ETags roll forward so stale clients re-fetch.
 // In-flight queries are never disturbed — each pins the committed snapshot
-// it started on.
+// it started on. Evolution events committed by the writer are republished
+// to /api/v1/stream subscribers as they are adopted.
+//
+// /healthz answers 200 as soon as the process serves; /readyz answers 503
+// until the archive is open and, in -live mode, the tail has caught up to
+// the writer's latest commit, then 200 — the split load balancers expect.
 //
 // SIGINT or SIGTERM shuts the server down gracefully: in-flight requests
 // drain (bounded by a timeout), the virtual clock stops, and the process
@@ -45,15 +52,18 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"ovhweather/internal/collect"
+	"ovhweather/internal/events"
 	"ovhweather/internal/netsim"
 	"ovhweather/internal/status"
 	"ovhweather/internal/tsdb"
@@ -95,20 +105,54 @@ func main() {
 	os.Exit(run(*addr, *archive, *cacheB, start, *step, *tick, *live, *refresh))
 }
 
-// newHandler assembles the site handler, mounting the archive query API,
-// the stats-bearing expvar page, and the block cache when an archive
-// reader is present.
-func newHandler(site http.Handler, rd *tsdb.Reader, cacheBytes int64) http.Handler {
-	if rd == nil {
-		return site
+// health backs the /healthz and /readyz probes. Liveness is serving at
+// all; readiness flips once the archive is open and the live tail has
+// caught up, and carries the reason while it has not.
+type health struct {
+	ready  atomic.Bool
+	reason atomic.Value // string: why not ready yet
+}
+
+func newHealth(reason string) *health {
+	h := &health{}
+	h.reason.Store(reason)
+	return h
+}
+
+func (h *health) markReady() { h.ready.Store(true) }
+
+func (h *health) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (h *health) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if h.ready.Load() {
+		io.WriteString(w, "ready\n")
+		return
 	}
-	cache := tsdb.NewBlockCache(cacheBytes)
-	rd.SetBlockCache(cache)
-	publishCacheStats(cache)
-	publishPlannerStats(rd)
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintf(w, "not ready: %s\n", h.reason.Load())
+}
+
+// newHandler assembles the site handler, mounting the health probes, the
+// archive query API (with SSE streaming when a hub is supplied), the
+// stats-bearing expvar page, and the block cache when an archive reader is
+// present.
+func newHandler(site http.Handler, rd *tsdb.Reader, cacheBytes int64, hub *events.Broadcaster, hs *health) http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/api/v1/", tsdb.NewAPIHandler(rd))
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /healthz", hs.handleHealthz)
+	mux.HandleFunc("GET /readyz", hs.handleReadyz)
+	if rd != nil {
+		cache := tsdb.NewBlockCache(cacheBytes)
+		rd.SetBlockCache(cache)
+		publishCacheStats(cache)
+		publishPlannerStats(rd)
+		publishEventStats(hub, rd)
+		mux.Handle("/api/v1/", tsdb.NewAPIHandlerWithStream(rd, hub))
+		mux.Handle("/debug/vars", expvar.Handler())
+	}
 	mux.Handle("/", site)
 	return mux
 }
@@ -152,15 +196,47 @@ func publishPlannerStats(rd *tsdb.Reader) {
 	}))
 }
 
+// publishEventStats exposes the event subsystem's counters — persisted
+// event frames plus, in -live mode, the broadcaster's subscriber count and
+// published/dropped/per-type fire totals — as the tsdb_events expvar, with
+// the same rebind-through-a-Func dance as the cache stats.
+var eventsVar struct {
+	hub  *events.Broadcaster
+	rd   *tsdb.Reader
+	once bool
+}
+
+func publishEventStats(hub *events.Broadcaster, rd *tsdb.Reader) {
+	eventsVar.hub, eventsVar.rd = hub, rd
+	if eventsVar.once {
+		return
+	}
+	eventsVar.once = true
+	expvar.Publish("tsdb_events", expvar.Func(func() any {
+		out := map[string]any{"frames": eventsVar.rd.EventFrames()}
+		if eventsVar.hub != nil {
+			out["broadcast"] = eventsVar.hub.Stats()
+		}
+		return out
+	}))
+}
+
 // runRefresher polls the live archive for new committed blocks until ctx
 // is cancelled. Refresh errors are logged and retried — a partially
 // written checkpoint replacement can make a single poll fail benignly —
 // except ErrArchiveReplaced, which is permanent: the file under the reader
 // is no longer the archive it opened, so the refresher stops and the
 // server keeps serving the last consistent state.
-func runRefresher(ctx context.Context, rd *tsdb.Reader, every time.Duration) {
+//
+// Each adopted commit also republishes the archive's newly committed
+// evolution events to hub, so /api/v1/stream subscribers follow the
+// writer's detectors with one poll interval of lag. The first successful
+// poll marks the server ready: the tail has observed the writer's latest
+// commit at least once.
+func runRefresher(ctx context.Context, rd *tsdb.Reader, every time.Duration, hub *events.Broadcaster, hs *health) {
 	tk := time.NewTicker(every)
 	defer tk.Stop()
+	frontier := rd.EventFrames() // history is for /api/v1/events, not the stream
 	for {
 		select {
 		case <-ctx.Done():
@@ -173,18 +249,41 @@ func runRefresher(ctx context.Context, rd *tsdb.Reader, every time.Duration) {
 				return
 			case err != nil:
 				log.Printf("live refresh: %v", err)
+				continue
 			case changed && !rd.Live():
 				// The writer closed the archive into its footered form;
 				// nothing more will be committed.
+				frontier = publishEvents(ctx, rd, hub, frontier)
+				hs.markReady()
 				log.Printf("live refresh: archive closed, serving its final state (%d blocks)",
 					rd.Stats().Blocks)
 				return
 			case changed:
+				frontier = publishEvents(ctx, rd, hub, frontier)
 				log.Printf("live refresh: adopted commit version %d (%d blocks)",
 					rd.Version(), rd.Stats().Blocks)
 			}
+			hs.markReady()
 		}
 	}
+}
+
+// publishEvents pushes the event frames committed past frontier into the
+// broadcaster and returns the new frontier. Errors leave the frontier
+// unmoved so the next poll retries the same span.
+func publishEvents(ctx context.Context, rd *tsdb.Reader, hub *events.Broadcaster, frontier int) int {
+	if hub == nil {
+		return frontier
+	}
+	evs, n, err := rd.EventsSince(ctx, frontier)
+	if err != nil {
+		log.Printf("live events: %v", err)
+		return frontier
+	}
+	for i := range evs {
+		hub.Publish(evs[i])
+	}
+	return n
 }
 
 func run(addr, archive string, cacheBytes int64, start time.Time, step, tick time.Duration, live bool, refresh time.Duration) int {
@@ -209,13 +308,22 @@ func run(addr, archive string, cacheBytes int64, start time.Time, step, tick tim
 		}
 		defer rd.Close()
 	}
-	handler := newHandler(site, rd, cacheBytes)
+	var hub *events.Broadcaster
+	if live {
+		hub = events.NewBroadcaster()
+		defer hub.Close()
+	}
+	hs := newHealth("live tail has not caught up with the writer yet")
+	if !live {
+		hs.markReady() // no tail to wait for: ready as soon as we serve
+	}
+	handler := newHandler(site, rd, cacheBytes, hub, hs)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if live {
-		go runRefresher(ctx, rd, refresh)
+		go runRefresher(ctx, rd, refresh, hub, hs)
 	}
 
 	srv := &http.Server{

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ovhweather/internal/collect"
+	"ovhweather/internal/events"
 	"ovhweather/internal/tsdb"
 	"ovhweather/internal/wmap"
 )
@@ -70,34 +71,145 @@ func TestNewHandlerMountsArchiveAPI(t *testing.T) {
 	}
 	defer rd.Close()
 
-	h := newHandler(http.NotFoundHandler(), rd, 1<<20)
+	h := newHandler(http.NotFoundHandler(), rd, 1<<20, nil, newHealth("starting"))
 	get := func(url string) *httptest.ResponseRecorder {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
 		return rec
 	}
-	for _, url := range []string{"/api/v1/maps", "/api/v1/stats", "/debug/vars"} {
+	for _, url := range []string{"/api/v1/maps", "/api/v1/stats", "/api/v1/events", "/debug/vars", "/healthz"} {
 		if rec := get(url); rec.Code != http.StatusOK {
 			t.Errorf("GET %s = %d (%s)", url, rec.Code, rec.Body)
 		}
+	}
+	// Without a live hub the stream endpoint refuses rather than hanging.
+	if rec := get("/api/v1/stream"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("GET /api/v1/stream without hub = %d, want 503", rec.Code)
 	}
 	get("/api/v1/topology?map=europe")
 	get("/api/v1/topology?map=europe")
 	if s := rd.BlockCache().Stats(); s.Hits == 0 {
 		t.Errorf("cache not wired: stats %+v after repeated topology serves", s)
 	}
-	if body := get("/debug/vars").Body.String(); !strings.Contains(body, "tsdb_block_cache") {
+	body := get("/debug/vars").Body.String()
+	if !strings.Contains(body, "tsdb_block_cache") {
 		t.Error("expvar page lacks tsdb_block_cache")
 	}
+	if !strings.Contains(body, "tsdb_events") {
+		t.Error("expvar page lacks tsdb_events")
+	}
 
-	// Without an archive the site handler serves unchanged.
-	plain := newHandler(http.NotFoundHandler(), nil, 1<<20)
+	// Without an archive the site handler serves unchanged, but the health
+	// probes still answer.
+	plain := newHandler(http.NotFoundHandler(), nil, 1<<20, nil, newHealth("starting"))
 	if rec := httptest.NewRecorder(); true {
 		plain.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/maps", nil))
 		if rec.Code != http.StatusNotFound {
 			t.Errorf("archiveless /api/v1/maps = %d, want the site's 404", rec.Code)
 		}
 	}
+	if rec := httptest.NewRecorder(); true {
+		plain.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("archiveless /healthz = %d, want 200", rec.Code)
+		}
+	}
+}
+
+// TestHealthProbes checks the readiness split: /healthz is always 200,
+// /readyz serves 503 with the pending reason until markReady, then 200.
+func TestHealthProbes(t *testing.T) {
+	hs := newHealth("live tail has not caught up with the writer yet")
+	h := newHandler(http.NotFoundHandler(), nil, 0, nil, hs)
+	probe := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		return rec
+	}
+	if rec := probe("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", rec.Code)
+	}
+	rec := probe("/readyz")
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "caught up") {
+		t.Fatalf("/readyz before ready = %d %q", rec.Code, rec.Body)
+	}
+	hs.markReady()
+	if rec := probe("/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz after markReady = %d, want 200", rec.Code)
+	}
+}
+
+// TestRunRefresherPublishesEventsAndReadies drives the live loop end to
+// end: a writer appends congestion-bearing snapshots while the refresher
+// polls; the first successful poll must flip readiness, and each adopted
+// commit must republish the newly committed events to the hub.
+func TestRunRefresherPublishesEventsAndReadies(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+	path := t.TempDir() + "/live.tsdb"
+	w, err := tsdb.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	base := time.Date(2020, 7, 1, 0, 0, 0, 0, time.UTC)
+	snap := func(i int, load wmap.Load) *wmap.Map {
+		return &wmap.Map{
+			ID:    wmap.Europe,
+			Time:  base.Add(time.Duration(i) * 5 * time.Minute),
+			Nodes: []wmap.Node{{Name: "par-g1", Kind: wmap.Router}, {Name: "fra-g1", Kind: wmap.Router}},
+			Links: []wmap.Link{{A: "par-g1", B: "fra-g1", LabelA: "#1", LabelB: "#1", LoadAB: load, LoadBA: 20}},
+		}
+	}
+	if err := w.Append(snap(0, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := tsdb.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+
+	hub := events.NewBroadcaster()
+	defer hub.Close()
+	sub := hub.Subscribe(16)
+	defer sub.Close()
+	hs := newHealth("catching up")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		runRefresher(ctx, rd, time.Millisecond, hub, hs)
+	}()
+
+	// Crossing the onset threshold commits one congestion event.
+	if err := w.Append(snap(1, 70)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-sub.C():
+		if ev.Type != events.TypeCongestionOnset || ev.A != "par-g1" {
+			t.Fatalf("streamed event = %+v", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("committed event never reached the hub")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !hs.ready.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("refresher never marked the server ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
 }
 
 // TestRunClockStopsOnCancel checks cancellation ends the clock cleanly with

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"ovhweather/internal/events"
 	"ovhweather/internal/wmap"
 )
 
@@ -24,18 +25,17 @@ type ChurnView struct {
 
 // ChurnStudy consumes a stream and diffs consecutive snapshots, keeping the
 // intervals with topology changes. Load-only changes are ignored (they
-// happen at every snapshot).
+// happen at every snapshot). The comparison itself is events.ChurnTracker —
+// the same state machine the live write-time detector runs.
 func ChurnStudy(src Stream) (*ChurnView, error) {
 	view := &ChurnView{}
-	var prev *wmap.Map
+	var tr events.ChurnTracker
 	err := src(func(m *wmap.Map) error {
 		view.Snapshots++
-		if prev != nil {
-			if d := wmap.Compare(prev, m); !d.Empty() {
-				view.Events = append(view.Events, ChurnEvent{From: prev.Time, To: m.Time, Diff: d})
-			}
+		prev := tr.Prev()
+		if d := tr.Observe(m); d != nil {
+			view.Events = append(view.Events, ChurnEvent{From: prev.Time, To: m.Time, Diff: d})
 		}
-		prev = m
 		return nil
 	})
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"ovhweather/internal/events"
 	"ovhweather/internal/wmap"
 )
 
@@ -31,15 +32,6 @@ func DefaultCongestionOptions() CongestionOptions {
 	return CongestionOptions{Threshold: 60, PersistFraction: 0.25}
 }
 
-// linkDirKey identifies one direction of one physical link across
-// snapshots: endpoints, labels, and the link's position among its parallel
-// group (labels alone are not unique on the real map).
-type linkDirKey struct {
-	from, to string
-	label    string
-	ordinal  int
-}
-
 // CongestedLink is one persistently hot link direction.
 type CongestedLink struct {
 	From, To  string
@@ -62,47 +54,35 @@ type CongestionView struct {
 
 // CongestionStudy consumes a stream and reports occasional congestion
 // (fraction of hot readings, Figure 5b's tail) and the links that are hot
-// persistently.
+// persistently. Direction enumeration and parallel-ordinal assignment are
+// events.EachDirection — the same walk the live congestion detector runs,
+// so offline and live agree on which physical direction is which.
 func CongestionStudy(src Stream, opt CongestionOptions) (*CongestionView, error) {
 	type acc struct {
 		hot, seen int
 		peak      wmap.Load
 	}
-	counts := make(map[linkDirKey]*acc)
+	counts := make(map[events.DirKey]*acc)
 	view := &CongestionView{Options: opt}
 
 	err := src(func(m *wmap.Map) error {
 		view.Snapshots++
-		ordinals := make(map[[2]string]int)
-		for _, l := range m.Links {
-			for _, dir := range [2]struct {
-				from, to string
-				label    string
-				load     wmap.Load
-			}{
-				{l.A, l.B, l.LabelA, l.LoadAB},
-				{l.B, l.A, l.LabelB, l.LoadBA},
-			} {
-				ordKey := [2]string{dir.from, dir.to}
-				key := linkDirKey{from: dir.from, to: dir.to, label: dir.label, ordinal: ordinals[ordKey]}
-				a := counts[key]
-				if a == nil {
-					a = &acc{}
-					counts[key] = a
-				}
-				a.seen++
-				view.Observations++
-				if dir.load >= opt.Threshold {
-					a.hot++
-					view.HotReadings++
-				}
-				if dir.load > a.peak {
-					a.peak = dir.load
-				}
+		events.EachDirection(m, func(dir events.Direction) {
+			a := counts[dir.Key()]
+			if a == nil {
+				a = &acc{}
+				counts[dir.Key()] = a
 			}
-			ordinals[[2]string{l.A, l.B}]++
-			ordinals[[2]string{l.B, l.A}]++
-		}
+			a.seen++
+			view.Observations++
+			if dir.Load >= opt.Threshold {
+				a.hot++
+				view.HotReadings++
+			}
+			if dir.Load > a.peak {
+				a.peak = dir.Load
+			}
+		})
 		return nil
 	})
 	if err != nil {
@@ -119,7 +99,7 @@ func CongestionStudy(src Stream, opt CongestionOptions) (*CongestionView, error)
 			continue
 		}
 		view.Persistent = append(view.Persistent, CongestedLink{
-			From: key.from, To: key.to, Label: key.label, Ordinal: key.ordinal,
+			From: key.From, To: key.To, Label: key.Label, Ordinal: key.Ordinal,
 			HotShare: share, PeakLoad: a.peak, Snapshots: a.seen,
 		})
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"ovhweather/internal/events"
 	"ovhweather/internal/peeringdb"
 	"ovhweather/internal/stats"
 	"ovhweather/internal/wmap"
@@ -85,7 +86,8 @@ func UpgradeStudy(src Stream, peering string, db *peeringdb.DB) (*UpgradeView, e
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].t.Before(snaps[j].t) })
 
 	// Build per-link series and detect A (count increase) and C (a link
-	// that was 0 % starts carrying traffic after A).
+	// that was 0 % starts carrying traffic after A) through the shared
+	// events.UpgradeTracker — the state machine the live detector runs.
 	maxLinks := 0
 	for _, s := range snaps {
 		if len(s.loads) > maxLinks {
@@ -96,28 +98,14 @@ func UpgradeStudy(src Stream, peering string, db *peeringdb.DB) (*UpgradeView, e
 	for i := range view.Series {
 		view.Series[i] = stats.NewTimeSeries()
 	}
-	prevCount := len(snaps[0].loads)
+	var tr events.UpgradeTracker
 	for _, s := range snaps {
 		for i, l := range s.loads {
 			view.Series[i].Append(s.t, float64(l))
 		}
-		if len(s.loads) > prevCount && view.Added.IsZero() {
-			view.Added = s.t
-		}
-		if !view.Added.IsZero() && view.Activated.IsZero() && !s.t.Before(view.Added) {
-			allLoaded := true
-			for _, l := range s.loads {
-				if l == 0 {
-					allLoaded = false
-					break
-				}
-			}
-			if allLoaded {
-				view.Activated = s.t
-			}
-		}
-		prevCount = len(s.loads)
+		tr.Observe(s.t, s.loads)
 	}
+	view.Added, view.Activated = tr.Added, tr.Activated
 
 	// Pre/post mean loads over week-long windows around the events.
 	if !view.Added.IsZero() {

@@ -15,7 +15,7 @@ const DefaultBlockCacheBytes = 64 << 20
 // sees while wasting little budget granularity.
 const cacheShards = 16
 
-/// cacheKey identifies one decoded-block variant: the owning archive (by
+// cacheKey identifies one decoded-block variant: the owning archive (by
 // the reader's open-time fingerprint, so one cache may serve several
 // readers), the block kind (raw or rollup — each indexes its own footer
 // table), the block index, and the column group — allColumns for a fully
@@ -37,6 +37,7 @@ type cacheKey struct {
 const (
 	kindRaw    uint8 = 0
 	kindRollup uint8 = 1
+	kindEvents uint8 = 2
 )
 
 // allColumns is the cacheKey.group value for a block decoded in full.

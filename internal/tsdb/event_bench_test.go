@@ -1,0 +1,118 @@
+package tsdb
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"ovhweather/internal/events"
+	"ovhweather/internal/wmap"
+)
+
+// Benchmarks for the evolution-event subsystem: the /api/v1/events query
+// path hot (decoded frames cached) and cold (every request decodes), and
+// the broadcaster's publish throughput under SSE-scale fan-out. Run with:
+//
+//	go test -run xxx -bench BenchmarkEvent -benchmem ./internal/tsdb/
+
+// buildEventCorpus writes months of 5-minute snapshots whose lead load
+// alternates across the congestion hysteresis band, so every snapshot past
+// the first commits one onset or clear event.
+func buildEventCorpus(b *testing.B, months int) (*Reader, int) {
+	b.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	n := months * 30 * 24 * 12
+	for i := 0; i < n; i++ {
+		load := 30
+		if i%2 == 1 {
+			load = 70
+		}
+		if err := w.Append(testMap(wmap.Europe, at(5*i), load, 10, 20, 30, 40, 10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rd, n - 1 // one event per snapshot after the first
+}
+
+// BenchmarkEventQuery serves GET /api/v1/events over a one-month corpus
+// (~8.6k events): hot from the decoded-frame cache, cold decoding every
+// event frame per request.
+func BenchmarkEventQuery(b *testing.B) {
+	rd, want := buildEventCorpus(b, 1)
+	h := NewAPIHandler(rd)
+	url := "/api/v1/events?map=europe"
+	serve := func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	evs, err := rd.Events(b.Context(), EventFilter{})
+	if err != nil || len(evs) != want {
+		b.Fatalf("corpus holds %d events (err %v), want %d", len(evs), err, want)
+	}
+
+	b.Run("hot", func(b *testing.B) {
+		rd.SetBlockCache(NewBlockCache(DefaultBlockCacheBytes))
+		serve() // warm the frame cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serve()
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		rd.SetBlockCache(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serve()
+		}
+	})
+}
+
+// BenchmarkEventBroadcast measures Publish throughput through the
+// bounded-queue fan-out with every subscriber draining — the SSE serving
+// path minus the network.
+func BenchmarkEventBroadcast(b *testing.B) {
+	ev := events.Event{Map: wmap.Europe, Type: events.TypeCongestionOnset,
+		A: "par-g1", B: "fra-g1", LabelA: "#1", Load: 70}
+	for _, subs := range []int{1, 32} {
+		b.Run(fmt.Sprintf("subs-%d", subs), func(b *testing.B) {
+			hub := events.NewBroadcaster()
+			var wg sync.WaitGroup
+			for s := 0; s < subs; s++ {
+				sub := hub.Subscribe(1024)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range sub.C() {
+					}
+				}()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hub.Publish(ev)
+			}
+			b.StopTimer()
+			hub.Close()
+			wg.Wait()
+			if st := hub.Stats(); st.Published != uint64(b.N) {
+				b.Fatalf("published %d, want %d", st.Published, b.N)
+			}
+		})
+	}
+}

@@ -81,6 +81,14 @@ func FuzzBlockReader(f *testing.F) {
 	rdam[len(rdam)-40] ^= 0x01 // inside the footer's rollup index region
 	f.Add(rdam)
 
+	// The first seed's loads sweep past the congestion threshold, so both
+	// archives above already carry event frames and a v3 event index. Park
+	// the fuzzer on the index too: the event index sits at the very end of
+	// the footer payload, just before the tail.
+	edam := append([]byte(nil), valid...)
+	edam[len(edam)-tailLen-2] ^= 0x01
+	f.Add(edam)
+
 	// Mid-append states: a committed prefix with no footer, plus variants
 	// with an uncommitted tail — what a crashed live writer leaves on disk.
 	// NewReader sees no tail magic, so these must fail typed; as seeds they
@@ -165,6 +173,21 @@ func FuzzBlockReader(f *testing.F) {
 				}
 			}
 		}
+		// Likewise every indexed event frame, and the query path over them.
+		for ei := range st.events {
+			if _, err := decodeEventsAt(rd.r, st.size, &st.events[ei], st.strs); err != nil {
+				var ce *CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("event decode error %v is not *CorruptError", err)
+				}
+			}
+		}
+		if _, err := rd.Events(context.Background(), EventFilter{}); err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Events error %v is not *CorruptError", err)
+			}
+		}
 	})
 }
 
@@ -225,8 +248,9 @@ func FuzzAppendRecovery(f *testing.F) {
 	}
 	data2, ckpt2 := snap()
 	// A topology change retires the rollup run and flushes a fragment frame
-	// with its commit: this state's tail holds rollup frames, exercising the
-	// contiguity and checksum checks of verifyTailBlock.
+	// with its commit: this state's tail holds rollup frames — and, with the
+	// load crossing the congestion threshold, an event frame — exercising the
+	// contiguity and checksum checks of verifyTailBlock over every frame kind.
 	grown := mk(5*6, 60)
 	grown.Nodes = append(grown.Nodes, wmap.Node{Name: "fra-g1", Kind: wmap.Router})
 	grown.Links = append(grown.Links, wmap.Link{A: "par-g1", B: "fra-g1",
@@ -297,6 +321,12 @@ func FuzzAppendRecovery(f *testing.F) {
 				if !errors.As(err, &ce) {
 					t.Fatalf("cursor error %v is not *CorruptError", err)
 				}
+			}
+		}
+		if _, err := rd.Events(context.Background(), EventFilter{}); err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Events error %v is not *CorruptError", err)
 			}
 		}
 		// And the closed form must itself be resumable.

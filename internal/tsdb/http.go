@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"ovhweather/internal/events"
 	"ovhweather/internal/stats"
 	"ovhweather/internal/wmap"
 )
@@ -61,6 +62,10 @@ func NewAPIHandler(rd *Reader) http.Handler {
 type api struct {
 	rd        *Reader
 	maxPoints int
+
+	// hub, when non-nil, is the live event broadcaster backing
+	// /api/v1/stream; the query endpoints work without it.
+	hub *events.Broadcaster
 }
 
 func (a *api) routes() http.Handler {
@@ -69,6 +74,8 @@ func (a *api) routes() http.Handler {
 	mux.HandleFunc("GET /api/v1/topology", a.handleTopology)
 	mux.HandleFunc("GET /api/v1/links/{id}/load", a.handleLinkLoad)
 	mux.HandleFunc("GET /api/v1/imbalance", a.handleImbalance)
+	mux.HandleFunc("GET /api/v1/events", a.handleEvents)
+	mux.HandleFunc("GET /api/v1/stream", a.handleStream)
 	mux.HandleFunc("GET /api/v1/stats", a.handleStats)
 	return mux
 }
@@ -687,6 +694,7 @@ func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
 			"version":       st.version,
 			"blocks":        len(st.blocks),
 			"rollup_blocks": len(st.rollups),
+			"event_blocks":  len(st.events),
 			"snapshots":     snapshots,
 			"topologies":    len(st.topos),
 			"strings":       len(st.strs),
@@ -698,5 +706,6 @@ func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
 			"stats":   cs,
 		},
 		"planner": a.rd.PlannerStats(),
+		"events":  a.eventStats(st),
 	})
 }

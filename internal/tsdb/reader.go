@@ -73,7 +73,10 @@ type readerState struct {
 	topos   []*topology
 	blocks  []blockMeta
 	rollups []rollupMeta
+	events  []eventMeta
 	perMap  map[wmap.MapID][]int // block indexes, chronological
+	// evPerMap lists each map's event-frame indexes in commit (offset) order.
+	evPerMap map[wmap.MapID][]int
 	// rollupTiers groups each map's rollup blocks by resolution, ascending;
 	// within a tier entries are chronological by first bucket. The planner
 	// walks tiers coarsest-first.
@@ -202,7 +205,8 @@ func (r *Reader) Refresh() (changed bool, err error) {
 		return false, nil
 	}
 	if len(ns.blocks) < len(cur.blocks) || len(ns.strs) < len(cur.strs) ||
-		len(ns.topos) < len(cur.topos) || len(ns.rollups) < len(cur.rollups) {
+		len(ns.topos) < len(cur.topos) || len(ns.rollups) < len(cur.rollups) ||
+		len(ns.events) < len(cur.events) {
 		return false, ErrArchiveReplaced
 	}
 	for i := range cur.blocks {
@@ -212,6 +216,11 @@ func (r *Reader) Refresh() (changed bool, err error) {
 	}
 	for i := range cur.rollups {
 		if ns.rollups[i] != cur.rollups[i] {
+			return false, ErrArchiveReplaced
+		}
+	}
+	for i := range cur.events {
+		if ns.events[i] != cur.events[i] {
 			return false, ErrArchiveReplaced
 		}
 	}
@@ -297,6 +306,7 @@ type footerData struct {
 	topos   []*topology
 	blocks  []blockMeta
 	rollups []rollupMeta
+	events  []eventMeta
 }
 
 // parseFooterData decodes a footer payload: the string table, the
@@ -356,13 +366,13 @@ func parseFooterData(payload []byte, payloadOff, dataEnd int64) (*footerData, er
 
 	// A payload that ends here is the v1 (PR 3–6) format: no rollup index,
 	// queries plan against raw blocks only. Otherwise a versioned suffix
-	// carries the rollup index.
+	// carries the rollup index (v2) and, since v3, the event-frame index.
 	if d.remaining() != 0 {
 		ver, err := d.uvarint("footer version")
 		if err != nil {
 			return nil, err
 		}
-		if ver != footerVersionRollups {
+		if ver != footerVersionRollups && ver != footerVersionEvents {
 			return nil, corruptf(d.abs(), "unsupported footer version %d", ver)
 		}
 		nroll, err := d.count("rollup index")
@@ -376,6 +386,20 @@ func parseFooterData(payload []byte, payloadOff, dataEnd int64) (*footerData, er
 				return nil, err
 			}
 			fd.rollups = append(fd.rollups, m)
+		}
+		if ver >= footerVersionEvents {
+			nev, err := d.count("event index")
+			if err != nil {
+				return nil, err
+			}
+			fd.events = make([]eventMeta, 0, nev)
+			for i := 0; i < nev; i++ {
+				m, err := fd.parseEventMeta(d, dataEnd)
+				if err != nil {
+					return nil, err
+				}
+				fd.events = append(fd.events, m)
+			}
 		}
 	}
 	if d.remaining() != 0 {
@@ -393,7 +417,9 @@ func buildState(fd *footerData, size int64, fp, version uint64, live bool) (*rea
 		topos:       fd.topos,
 		blocks:      fd.blocks,
 		rollups:     fd.rollups,
+		events:      fd.events,
 		perMap:      make(map[wmap.MapID][]int),
+		evPerMap:    make(map[wmap.MapID][]int),
 		rollupTiers: make(map[wmap.MapID][]rollupTier),
 		fp:          fp,
 		version:     version,
@@ -402,6 +428,13 @@ func buildState(fd *footerData, size int64, fp, version uint64, live bool) (*rea
 	for i := range st.blocks {
 		id := wmap.MapID(st.strs[st.blocks[i].mapRef])
 		st.perMap[id] = append(st.perMap[id], i)
+	}
+	for i := range st.events {
+		id := wmap.MapID(st.strs[st.events[i].mapRef])
+		st.evPerMap[id] = append(st.evPerMap[id], i)
+	}
+	for _, ei := range st.evPerMap {
+		sort.Slice(ei, func(a, b int) bool { return st.events[ei[a]].offset < st.events[ei[b]].offset })
 	}
 	for i := range st.rollups {
 		m := &st.rollups[i]
@@ -604,6 +637,7 @@ func (r *Reader) Stats() ArchiveStats {
 	s := ArchiveStats{
 		Blocks:       len(st.blocks),
 		RollupBlocks: len(st.rollups),
+		EventBlocks:  len(st.events),
 		Topologies:   len(st.topos),
 		Strings:      len(st.strs),
 		Bytes:        st.size,

@@ -88,7 +88,7 @@ func TestRollupEquivalenceProperty(t *testing.T) {
 	queries := []string{
 		"step=1h", "step=2h", "step=3h", "step=5h", // 1h tier
 		"step=24h", "step=48h", // 1d tier
-		"step=25h",                         // 1d does not divide 25h; 1h does
+		"step=25h",                            // 1d does not divide 25h; 1h does
 		"step=1h&bands=1", "step=24h&bands=1", // min/max bands from rollup extremes
 		"step=10m", "step=35m", // no divisor: raw on both sides
 		"step=1h" + sub, // hybrid over a sub-range crossing fragment merges

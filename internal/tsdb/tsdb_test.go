@@ -387,7 +387,9 @@ func TestEmptyArchive(t *testing.T) {
 func TestEveryByteFlipDetected(t *testing.T) {
 	var maps []*wmap.Map
 	for i := 0; i < 6; i++ {
-		maps = append(maps, testMap(wmap.Europe, at(5*i), i, i, i, i, i, i))
+		// Loads sweep across the congestion thresholds so the archive also
+		// carries event frames — the matrix must cover those too.
+		maps = append(maps, testMap(wmap.Europe, at(5*i), 20*i, i, i, i, i, i))
 	}
 	maps = append(maps, grownMap(wmap.Europe, at(30)))
 	data := buildArchive(t, 3, maps...)
@@ -416,14 +418,23 @@ func TestEveryByteFlipDetected(t *testing.T) {
 				detected = true
 			}
 		}
-		// Cursor walks never touch rollup frames; decode each one too so
-		// flips inside them must also surface typed.
+		// Cursor walks never touch rollup or event frames; decode each one
+		// too so flips inside them must also surface typed.
 		st := rd.st()
 		for ri := range st.rollups {
 			if _, err := decodeRollupAt(rd.r, st.size, &st.rollups[ri], nil); err != nil {
 				var ce *CorruptError
 				if !errors.As(err, &ce) {
 					t.Fatalf("flip at %d: rollup decode error %v is not *CorruptError", i, err)
+				}
+				detected = true
+			}
+		}
+		for ei := range st.events {
+			if _, err := decodeEventsAt(rd.r, st.size, &st.events[ei], st.strs); err != nil {
+				var ce *CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("flip at %d: event decode error %v is not *CorruptError", i, err)
 				}
 				detected = true
 			}
@@ -438,8 +449,8 @@ func TestEveryByteFlipDetected(t *testing.T) {
 // a typed error — a truncated or header-only file must never open.
 func TestEveryTruncationDetected(t *testing.T) {
 	data := buildArchive(t, 3,
-		testMap(wmap.Europe, at(0), 1, 2, 3, 4, 5, 6),
-		testMap(wmap.Europe, at(5), 2, 3, 4, 5, 6, 7),
+		testMap(wmap.Europe, at(0), 70, 2, 3, 4, 5, 6), // congested: an event frame rides along
+		testMap(wmap.Europe, at(5), 75, 3, 4, 5, 6, 7),
 	)
 	for n := 0; n < len(data); n++ {
 		_, err := NewReader(bytes.NewReader(data[:n]), int64(n))

@@ -13,6 +13,8 @@ import (
 	"sort"
 	"time"
 
+	"ovhweather/internal/events"
+	"ovhweather/internal/peeringdb"
 	"ovhweather/internal/wmap"
 )
 
@@ -42,11 +44,12 @@ type openBlock struct {
 }
 
 // ArchiveStats summarizes an archive for logs, tests, and benchmarks.
-// Blocks counts raw blocks only; RollupBlocks counts the pre-aggregated
-// rollup blocks interleaved with them.
+// Blocks counts raw blocks only; RollupBlocks and EventBlocks count the
+// pre-aggregated rollup blocks and event-log frames interleaved with them.
 type ArchiveStats struct {
 	Blocks       int
 	RollupBlocks int
+	EventBlocks  int
 	Snapshots    int
 	Topologies   int
 	Strings      int
@@ -93,6 +96,17 @@ type Writer struct {
 	rollups     []rollupMeta
 	accs        map[wmap.MapID][]*rollupAcc
 
+	// Event-log state; see event_log.go. evReady flips with the same
+	// discipline as rollupReady, after which enablement, config, and (on a
+	// resumed archive) the rebuilt detector state are frozen.
+	evEnabled bool
+	evCfg     events.Config
+	evDB      *peeringdb.DB
+	evReady   bool
+	detectors map[wmap.MapID]*events.Detector
+	evPending map[wmap.MapID][]events.Event
+	evIndex   []eventMeta
+
 	snapshots int
 }
 
@@ -111,6 +125,10 @@ func NewWriter(w io.Writer) *Writer {
 		last:        make(map[wmap.MapID]int64),
 		rollupRes:   res,
 		accs:        make(map[wmap.MapID][]*rollupAcc),
+		evEnabled:   true,
+		evCfg:       events.DefaultConfig(),
+		detectors:   make(map[wmap.MapID]*events.Detector),
+		evPending:   make(map[wmap.MapID][]events.Event),
 	}
 }
 
@@ -247,17 +265,17 @@ func (w *Writer) recoverCheckpoint(ck *checkpoint) error {
 
 // verifyTailBlock re-checks the committed tail against the checkpoint's
 // indexes: frames are written contiguously and the checkpoint commits
-// right after a flush event, so the highest-offset frame — raw block or
-// rollup block — must end exactly at the committed offset. The last raw
-// block and every rollup frame past it (a flush event writes its rollup
-// fragments right after the raw block) are re-verified against their
-// checksums, so a torn write anywhere in the committed tail surfaces here
-// as a *CorruptError. Damage deeper in the committed prefix is still
-// caught by per-block CRCs at read time.
+// right after a flush event, so the highest-offset frame — raw block,
+// rollup block, or event frame — must end exactly at the committed offset.
+// The last raw block and every rollup/event frame past it (a flush event
+// writes its rollup fragments and event frame right after the raw block)
+// are re-verified against their checksums, so a torn write anywhere in the
+// committed tail surfaces here as a *CorruptError. Damage deeper in the
+// committed prefix is still caught by per-block CRCs at read time.
 func verifyTailBlock(r io.ReaderAt, fd *footerData, dataEnd int64) error {
 	if len(fd.blocks) == 0 {
-		if len(fd.rollups) != 0 {
-			return corruptf(dataEnd, "checkpoint indexes rollup blocks but no raw blocks")
+		if len(fd.rollups) != 0 || len(fd.events) != 0 {
+			return corruptf(dataEnd, "checkpoint indexes rollup or event frames but no raw blocks")
 		}
 		if dataEnd != int64(len(headerMagic)) {
 			return corruptf(dataEnd, "checkpoint commits %d bytes but indexes no blocks", dataEnd)
@@ -271,18 +289,28 @@ func verifyTailBlock(r io.ReaderAt, fd *footerData, dataEnd int64) error {
 		}
 	}
 	end := last.offset + frameOverhead + int64(last.payloadLen)
-	// Rollup frames written after the last raw block extend the tail; each
-	// must be contiguous with and checked like the block before it.
-	var tailRollups []*rollupMeta
+	// Rollup and event frames written after the last raw block extend the
+	// tail; each must be contiguous with and checked like the block before it.
+	type tailFrame struct {
+		offset     int64
+		payloadLen int
+		what       string
+	}
+	var tail []tailFrame
 	for i := range fd.rollups {
-		if fd.rollups[i].offset > last.offset {
-			tailRollups = append(tailRollups, &fd.rollups[i])
+		if m := &fd.rollups[i]; m.offset > last.offset {
+			tail = append(tail, tailFrame{m.offset, m.payloadLen, "rollup block"})
 		}
 	}
-	sort.Slice(tailRollups, func(a, b int) bool { return tailRollups[a].offset < tailRollups[b].offset })
-	for _, m := range tailRollups {
+	for i := range fd.events {
+		if m := &fd.events[i]; m.offset > last.offset {
+			tail = append(tail, tailFrame{m.offset, m.payloadLen, "event frame"})
+		}
+	}
+	sort.Slice(tail, func(a, b int) bool { return tail[a].offset < tail[b].offset })
+	for _, m := range tail {
 		if m.offset != end {
-			return corruptf(m.offset, "rollup frame at %d not contiguous with committed tail at %d", m.offset, end)
+			return corruptf(m.offset, "%s at %d not contiguous with committed tail at %d", m.what, m.offset, end)
 		}
 		end = m.offset + frameOverhead + int64(m.payloadLen)
 	}
@@ -306,8 +334,8 @@ func verifyTailBlock(r io.ReaderAt, fd *footerData, dataEnd int64) error {
 	if err := verify(last.offset, last.payloadLen, "block"); err != nil {
 		return err
 	}
-	for _, m := range tailRollups {
-		if err := verify(m.offset, m.payloadLen, "rollup block"); err != nil {
+	for _, m := range tail {
+		if err := verify(m.offset, m.payloadLen, m.what); err != nil {
 			return err
 		}
 	}
@@ -328,6 +356,7 @@ func (w *Writer) restore(fd *footerData) {
 	}
 	w.index = fd.blocks
 	w.rollups = fd.rollups
+	w.evIndex = fd.events
 	for i := range fd.blocks {
 		m := &fd.blocks[i]
 		id := wmap.MapID(fd.strs[m.mapRef])
@@ -351,6 +380,7 @@ func (w *Writer) Stats() ArchiveStats {
 	return ArchiveStats{
 		Blocks:       len(w.index),
 		RollupBlocks: len(w.rollups),
+		EventBlocks:  len(w.evIndex),
 		Snapshots:    w.snapshots,
 		Topologies:   len(w.topos),
 		Strings:      len(w.strs),
@@ -425,6 +455,9 @@ func (w *Writer) Append(m *wmap.Map) error {
 	if err := w.ensureRollupState(); err != nil {
 		return err
 	}
+	if err := w.ensureEventState(); err != nil {
+		return err
+	}
 	ti, err := w.internTopology(m)
 	if err != nil {
 		return err
@@ -452,6 +485,9 @@ func (w *Writer) Append(m *wmap.Map) error {
 		if err := w.flushRollups(m.ID, false); err != nil {
 			return err
 		}
+		if err := w.flushEvents(m.ID); err != nil {
+			return err
+		}
 		// A live archive publishes a durable commit after every block that
 		// rotates out (and after topology-change fragments), so tailing
 		// readers lag by at most one open block.
@@ -472,6 +508,9 @@ func (w *Writer) Append(m *wmap.Map) error {
 	}
 	if w.rollupEnabled() {
 		w.rollupAdd(m.ID, ti, t, m.Links)
+	}
+	if w.evEnabled {
+		w.evObserve(m)
 	}
 	w.last[m.ID] = t
 	w.snapshots++
@@ -624,10 +663,11 @@ func (w *Writer) encodeFooter() []byte {
 		buf = binary.AppendUvarint(buf, uint64(m.links))
 	}
 
-	// Versioned suffix: the rollup index. A v1 footer ends at the block
-	// index; readers treat "no bytes left" as v1 (no rollups), so PR 3–6
-	// archives keep opening read-only with planner fallback.
-	buf = binary.AppendUvarint(buf, footerVersionRollups)
+	// Versioned suffix: the rollup index, then the event index. A v1 footer
+	// ends at the block index; readers treat "no bytes left" as v1 (no
+	// rollups, no events) and a v2 suffix as rollups-only, so PR 3–7
+	// archives keep opening read-only.
+	buf = binary.AppendUvarint(buf, footerVersionEvents)
 	buf = binary.AppendUvarint(buf, uint64(len(w.rollups)))
 	for _, m := range w.rollups {
 		buf = binary.AppendUvarint(buf, m.mapRef)
@@ -640,6 +680,17 @@ func (w *Writer) encodeFooter() []byte {
 		buf = binary.AppendUvarint(buf, uint64(m.lastPoint))
 		buf = binary.AppendUvarint(buf, uint64(m.buckets))
 		buf = binary.AppendUvarint(buf, uint64(m.links))
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(w.evIndex)))
+	for _, m := range w.evIndex {
+		buf = binary.AppendUvarint(buf, m.mapRef)
+		buf = binary.AppendUvarint(buf, uint64(m.offset))
+		buf = binary.AppendUvarint(buf, uint64(m.payloadLen))
+		buf = binary.AppendUvarint(buf, uint64(m.firstUnix))
+		buf = binary.AppendUvarint(buf, uint64(m.lastUnix))
+		buf = binary.AppendUvarint(buf, uint64(m.lastPoint))
+		buf = binary.AppendUvarint(buf, uint64(m.count))
 	}
 	return buf
 }
@@ -712,6 +763,9 @@ func (w *Writer) Sync() error {
 	if err := w.ensureRollupState(); err != nil {
 		return err
 	}
+	if err := w.ensureEventState(); err != nil {
+		return err
+	}
 	if err := w.flushOpen(); err != nil {
 		return err
 	}
@@ -771,6 +825,9 @@ func (w *Writer) flushOpen() error {
 		if err := w.flushRollups(wmap.MapID(id), false); err != nil {
 			return err
 		}
+		if err := w.flushEvents(wmap.MapID(id)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -782,12 +839,21 @@ func (w *Writer) finish() error {
 	if err := w.ensureRollupState(); err != nil {
 		return err
 	}
+	if err := w.ensureEventState(); err != nil {
+		return err
+	}
 	if err := w.flushOpen(); err != nil {
 		return err
 	}
 	// Drain every remaining sealed bucket; partial current buckets are
 	// discarded — their points replay from raw blocks on a future resume.
 	if err := w.flushFinalRollups(); err != nil {
+		return err
+	}
+	// Defensive: flushOpen already drained every map with an open block, and
+	// pending events only exist alongside open-block points, so this writes
+	// nothing in practice — but a frame here beats silently dropped events.
+	if err := w.flushFinalEvents(); err != nil {
 		return err
 	}
 	if w.live {
