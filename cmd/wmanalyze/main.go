@@ -199,6 +199,30 @@ func run(cfg config) error {
 		}
 	}
 
+	// colStream is the whole-map columnar scan behind the multi-link folds:
+	// one ordered pass decoding each block once, instead of re-streaming
+	// per-snapshot maps for every lens. Archive-only; nil keeps the other
+	// sources on the snapshot stream.
+	var colStream func(from, to time.Time) analysis.ColumnStream
+	if rd != nil {
+		colStream = func(from, to time.Time) analysis.ColumnStream {
+			return func(yield func(*analysis.LinkColumns) error) error {
+				var lc analysis.LinkColumns
+				return rd.GridColumns(ctx, id, from, to, func(c *tsdb.GridChunk) error {
+					lc.Times = lc.Times[:0]
+					for _, u := range c.Times {
+						lc.Times = append(lc.Times, time.Unix(u, 0).UTC())
+					}
+					lc.Links = lc.Links[:0]
+					for i := range c.Links {
+						lc.Links = append(lc.Links, analysis.LinkCol{Link: c.Links[i], AB: c.AB[i], BA: c.BA[i]})
+					}
+					return yield(&lc)
+				})
+			}
+		}
+	}
+
 	if sel("1") {
 		analysis.Banner(out, "Table 1 — network size per map ("+sc.End.Format("2006-01-02")+")")
 		maps, err := snapshotAll(sim, rd, store, sc)
@@ -282,7 +306,12 @@ func run(cfg config) error {
 			return err
 		}
 		analysis.WriteLoadCDF(out, loads)
-		imb, err := analysis.ImbalanceCDF(stream(from, to, cfg.simStep), wmap.PaperImbalanceOptions())
+		var imb *analysis.ImbalanceView
+		if colStream != nil {
+			imb, err = analysis.ImbalanceCDFColumns(colStream(from, to), wmap.PaperImbalanceOptions())
+		} else {
+			imb, err = analysis.ImbalanceCDF(stream(from, to, cfg.simStep), wmap.PaperImbalanceOptions())
+		}
 		if err != nil {
 			return err
 		}
@@ -292,7 +321,12 @@ func run(cfg config) error {
 			return err
 		}
 		analysis.WriteCongestion(out, cong)
-		weekly, err := analysis.WeeklyLoads(stream(from, from.AddDate(0, 0, 14), cfg.simStep))
+		var weekly *analysis.WeeklyView
+		if colStream != nil {
+			weekly, err = analysis.WeeklyLoadsColumns(colStream(from, from.AddDate(0, 0, 14)))
+		} else {
+			weekly, err = analysis.WeeklyLoads(stream(from, from.AddDate(0, 0, 14), cfg.simStep))
+		}
 		if err != nil {
 			return err
 		}

@@ -110,7 +110,7 @@ func run(out *os.File, archive, mapStr, typeStr, fromStr, toStr string, asJSON b
 	for i := range evs {
 		ev := &evs[i]
 		fmt.Fprintf(out, "%s  %-16s %-9s %s\n",
-			ev.Time.Format(time.RFC3339), ev.Type, ev.Map, ev.Summary())
+			ev.Time.Format(time.RFC3339), ev.Type, ev.Map, ev.Summary)
 	}
 	return 0
 }

@@ -6,6 +6,7 @@
 //
 //	wmserve [-addr :8080] [-start RFC3339] [-step 5m] [-tick 1s]
 //	        [-archive FILE] [-live] [-refresh 2s] [-block-cache BYTES]
+//	        [-pprof 127.0.0.1:6060]
 //
 // Every -tick of wall-clock time advances the simulation by -step, exactly
 // like the real site's five-minute refresh, so a collector pointed at
@@ -18,6 +19,7 @@
 //	GET /api/v1/maps
 //	GET /api/v1/topology?map=&at=
 //	GET /api/v1/links/{id}/load?from=&to=&step=
+//	GET /api/v1/grid?from=&to=&step=&bands=&links=
 //	GET /api/v1/imbalance?map=&at=
 //	GET /api/v1/events?map=&type=&from=&to=
 //	GET /api/v1/stream              (SSE, -live only)
@@ -35,6 +37,11 @@
 // In-flight queries are never disturbed — each pins the committed snapshot
 // it started on. Evolution events committed by the writer are republished
 // to /api/v1/stream subscribers as they are adopted.
+//
+// -pprof mounts net/http/pprof on a second, loopback-only listener so CPU
+// and heap profiles can be taken from the box without exposing the
+// profiler on the public address; any non-loopback host is rejected at
+// startup.
 //
 // /healthz answers 200 as soon as the process serves; /readyz answers 503
 // until the archive is open and, in -live mode, the tail has caught up to
@@ -54,7 +61,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -93,6 +102,7 @@ func main() {
 		live     = flag.Bool("live", false, "tail a still-appending archive: refresh the reader as blocks are committed")
 		refresh  = flag.Duration("refresh", 2*time.Second, "how often -live polls the archive for new committed blocks")
 		cacheB   = flag.Int64("block-cache", tsdb.DefaultBlockCacheBytes, "decoded-block cache budget in `bytes` for archive queries (0 disables)")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this loopback-only `address` (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 	start, err := time.Parse(time.RFC3339, *startStr)
@@ -102,7 +112,23 @@ func main() {
 	if *live && *archive == "" {
 		log.Fatal("-live requires -archive")
 	}
-	os.Exit(run(*addr, *archive, *cacheB, start, *step, *tick, *live, *refresh))
+	if *pprofA != "" {
+		host, _, err := net.SplitHostPort(*pprofA)
+		if err != nil || !isLoopbackHost(host) {
+			log.Fatalf("-pprof %q: must bind a loopback address (e.g. 127.0.0.1:6060) — profiles expose process internals", *pprofA)
+		}
+	}
+	os.Exit(run(*addr, *archive, *cacheB, start, *step, *tick, *live, *refresh, *pprofA))
+}
+
+// isLoopbackHost accepts only hosts that cannot leave the machine; the
+// pprof endpoint exposes heap contents and must never face the network.
+func isLoopbackHost(h string) bool {
+	if h == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(h)
+	return ip != nil && ip.IsLoopback()
 }
 
 // health backs the /healthz and /readyz probes. Liveness is serving at
@@ -149,6 +175,7 @@ func newHandler(site http.Handler, rd *tsdb.Reader, cacheBytes int64, hub *event
 		rd.SetBlockCache(cache)
 		publishCacheStats(cache)
 		publishPlannerStats(rd)
+		publishGridStats(rd)
 		publishEventStats(hub, rd)
 		mux.Handle("/api/v1/", tsdb.NewAPIHandlerWithStream(rd, hub))
 		mux.Handle("/debug/vars", expvar.Handler())
@@ -193,6 +220,24 @@ func publishPlannerStats(rd *tsdb.Reader) {
 	plannerVar.once = true
 	expvar.Publish("tsdb_planner", expvar.Func(func() any {
 		return plannerVar.rd.PlannerStats()
+	}))
+}
+
+// publishGridStats exposes the grid engine's counters as the tsdb_grid
+// expvar, with the same rebind-through-a-Func dance as the cache stats.
+var gridVar struct {
+	rd   *tsdb.Reader
+	once bool
+}
+
+func publishGridStats(rd *tsdb.Reader) {
+	gridVar.rd = rd
+	if gridVar.once {
+		return
+	}
+	gridVar.once = true
+	expvar.Publish("tsdb_grid", expvar.Func(func() any {
+		return gridVar.rd.GridStats()
 	}))
 }
 
@@ -286,7 +331,7 @@ func publishEvents(ctx context.Context, rd *tsdb.Reader, hub *events.Broadcaster
 	return n
 }
 
-func run(addr, archive string, cacheBytes int64, start time.Time, step, tick time.Duration, live bool, refresh time.Duration) int {
+func run(addr, archive string, cacheBytes int64, start time.Time, step, tick time.Duration, live bool, refresh time.Duration, pprofAddr string) int {
 	sim, err := netsim.New(netsim.DefaultScenario())
 	if err != nil {
 		log.Print(err)
@@ -332,6 +377,26 @@ func run(addr, archive string, cacheBytes int64, start time.Time, step, tick tim
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The profiling endpoint gets its own loopback-only listener — never
+	// the public mux — mounted explicitly so nothing else riding the
+	// default mux leaks onto it.
+	var pprofSrv *http.Server
+	if pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: pprofAddr, Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+		log.Printf("pprof on http://%s/debug/pprof/ (loopback only)", pprofAddr)
+	}
+
 	// The virtual clock and the listener each report on their own channel;
 	// whichever fails first (or a shutdown signal) decides the exit path.
 	tickErr := make(chan error, 1)
@@ -371,6 +436,9 @@ func run(addr, archive string, cacheBytes int64, start time.Time, step, tick tim
 	stop()
 	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
+	if pprofSrv != nil {
+		pprofSrv.Shutdown(sctx)
+	}
 	if err := srv.Shutdown(sctx); err != nil {
 		log.Printf("shutdown: %v", err)
 		code = 1

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"time"
+
+	"ovhweather/internal/stats"
+	"ovhweather/internal/wmap"
+)
+
+// The column folds are the grid-scan counterparts of the snapshot folds:
+// instead of receiving one *wmap.Map per snapshot, they receive one
+// LinkColumns chunk per storage block — every link's directed load columns
+// decoded once and laid out side by side. The tsdb grid scan produces this
+// shape natively (Reader.GridColumns), so multi-link analyses fold the
+// archive in a single ordered pass rather than re-streaming it per lens.
+// analysis deliberately does not import tsdb; callers adapt the chunk type.
+
+// LinkCol is one link's slice of a column chunk: the topology row (loads
+// unused) plus the two directed load columns, index-aligned with the
+// chunk's Times.
+type LinkCol struct {
+	Link   wmap.Link
+	AB, BA []wmap.Load
+}
+
+// LinkColumns is one columnar chunk: a run of consecutive snapshots sharing
+// one topology. Times[k] is snapshot k; Links[i].AB[k] its load.
+type LinkColumns struct {
+	Times []time.Time
+	Links []LinkCol
+}
+
+// ColumnStream yields a map's snapshots in chronological chunks. Like
+// Stream, the chunk passed to yield may be reused between calls.
+type ColumnStream func(yield func(c *LinkColumns) error) error
+
+// snapshots iterates the chunk row-wise: for each snapshot time it fills
+// scratch.Links with that instant's loads and hands the map to visit —
+// recovering the exact per-snapshot view the Stream folds consume, so the
+// column folds inherit their semantics (and their results) verbatim.
+func (c *LinkColumns) snapshots(scratch *wmap.Map, visit func(m *wmap.Map) error) error {
+	if cap(scratch.Links) < len(c.Links) {
+		scratch.Links = make([]wmap.Link, len(c.Links))
+	}
+	scratch.Links = scratch.Links[:len(c.Links)]
+	for i := range c.Links {
+		scratch.Links[i] = c.Links[i].Link
+	}
+	for k, t := range c.Times {
+		scratch.Time = t
+		for i := range c.Links {
+			scratch.Links[i].LoadAB = c.Links[i].AB[k]
+			scratch.Links[i].LoadBA = c.Links[i].BA[k]
+		}
+		if err := visit(scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImbalanceCDFColumns is ImbalanceCDF over a column stream: one scan of the
+// archive feeds every directed parallel set, with the per-snapshot grouping
+// delegated to the same wmap.Imbalances code the snapshot fold uses.
+func ImbalanceCDFColumns(src ColumnStream, opt wmap.ImbalanceOptions) (*ImbalanceView, error) {
+	internal := stats.NewSample()
+	external := stats.NewSample()
+	var lastParallelism float64
+	var scratch wmap.Map
+	err := src(func(c *LinkColumns) error {
+		return c.snapshots(&scratch, func(m *wmap.Map) error {
+			for _, im := range m.Imbalances(opt) {
+				if im.Internal {
+					internal.Add(float64(im.Spread))
+				} else {
+					external.Add(float64(im.Spread))
+				}
+			}
+			lastParallelism = m.MeanParallelism()
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	view := &ImbalanceView{
+		IntSets:         internal.Len(),
+		ExtSets:         external.Len(),
+		MeanParallelism: lastParallelism,
+	}
+	if internal.Len() > 0 {
+		view.Internal, _ = internal.CDF()
+		view.IntWithin1, _ = internal.FractionAtMost(1)
+	}
+	if external.Len() > 0 {
+		view.External, _ = external.CDF()
+		view.ExtWithin2, _ = external.FractionAtMost(2)
+	}
+	return view, nil
+}
+
+// WeeklyLoadsColumns is WeeklyLoads over a column stream: same per-snapshot
+// accumulation order (snapshot-major, link-minor, AB before BA), same view.
+func WeeklyLoadsColumns(src ColumnStream) (*WeeklyView, error) {
+	byDay := make([]*stats.Sample, 7)
+	for i := range byDay {
+		byDay[i] = stats.NewSample()
+	}
+	var scratch wmap.Map
+	err := src(func(c *LinkColumns) error {
+		return c.snapshots(&scratch, func(m *wmap.Map) error {
+			d := int(m.Time.Weekday())
+			for _, l := range m.Links {
+				byDay[d].Add(float64(l.LoadAB), float64(l.LoadBA))
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return weeklyFromByDay(byDay)
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"ovhweather/internal/wmap"
+)
+
+// columnize turns a snapshot corpus into the chunked columnar shape a tsdb
+// grid scan yields: consecutive snapshots sharing a topology become one
+// LinkColumns chunk.
+func columnize(maps []*wmap.Map) ColumnStream {
+	return func(yield func(c *LinkColumns) error) error {
+		for i := 0; i < len(maps); {
+			j := i
+			for j < len(maps) && len(maps[j].Links) == len(maps[i].Links) {
+				j++
+			}
+			run := maps[i:j]
+			c := &LinkColumns{Links: make([]LinkCol, len(run[0].Links))}
+			for li := range run[0].Links {
+				c.Links[li].Link = run[0].Links[li]
+				c.Links[li].AB = make([]wmap.Load, len(run))
+				c.Links[li].BA = make([]wmap.Load, len(run))
+			}
+			for k, m := range run {
+				c.Times = append(c.Times, m.Time)
+				for li, l := range m.Links {
+					c.Links[li].AB[k] = l.LoadAB
+					c.Links[li].BA[k] = l.LoadBA
+				}
+			}
+			if err := yield(c); err != nil {
+				return err
+			}
+			i = j
+		}
+		return nil
+	}
+}
+
+// testCorpus builds a mixed corpus: internal parallels, external parallels,
+// a singleton link, and a mid-corpus topology growth.
+func testCorpus(rng *rand.Rand, n int) []*wmap.Map {
+	base := time.Date(2020, 7, 1, 0, 0, 0, 0, time.UTC)
+	var maps []*wmap.Map
+	for i := 0; i < n; i++ {
+		lo := func() wmap.Load { return wmap.Load(rng.Intn(101)) }
+		m := &wmap.Map{
+			ID:   wmap.Europe,
+			Time: base.Add(time.Duration(i) * 3 * time.Hour),
+			Nodes: []wmap.Node{
+				{Name: "par-g1", Kind: wmap.Router},
+				{Name: "fra-g1", Kind: wmap.Router},
+				{Name: "AMS-IX", Kind: wmap.Peering},
+			},
+			Links: []wmap.Link{
+				{A: "par-g1", B: "fra-g1", LabelA: "#1", LabelB: "#1", LoadAB: lo(), LoadBA: lo()},
+				{A: "par-g1", B: "fra-g1", LabelA: "#2", LabelB: "#2", LoadAB: lo(), LoadBA: lo()},
+				{A: "par-g1", B: "AMS-IX", LabelA: "#1", LabelB: "#1", LoadAB: lo(), LoadBA: lo()},
+				{A: "par-g1", B: "AMS-IX", LabelA: "#2", LabelB: "#2", LoadAB: lo(), LoadBA: lo()},
+				{A: "fra-g1", B: "AMS-IX", LabelA: "#1", LabelB: "#1", LoadAB: lo(), LoadBA: lo()},
+			},
+		}
+		if i >= n/2 {
+			m.Nodes = append(m.Nodes, wmap.Node{Name: "waw-g1", Kind: wmap.Router})
+			m.Links = append(m.Links, wmap.Link{A: "fra-g1", B: "waw-g1", LabelA: "#1", LabelB: "#1", LoadAB: lo(), LoadBA: lo()})
+		}
+		maps = append(maps, m)
+	}
+	return maps
+}
+
+// TestColumnsFoldEquivalence: the column folds must produce views deeply
+// equal to the snapshot-stream folds over the same corpus — the invariant
+// that lets wmanalyze switch Figure 5 onto the grid scan.
+func TestColumnsFoldEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	maps := testCorpus(rng, 120)
+	stream := func(yield func(m *wmap.Map) error) error {
+		for _, m := range maps {
+			if err := yield(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wantImb, err := ImbalanceCDF(stream, wmap.PaperImbalanceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotImb, err := ImbalanceCDFColumns(columnize(maps), wmap.PaperImbalanceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantImb, gotImb) {
+		t.Errorf("imbalance views diverge:\nstream  %+v\ncolumns %+v", wantImb, gotImb)
+	}
+	if gotImb.IntSets == 0 || gotImb.ExtSets == 0 {
+		t.Errorf("corpus too tame: %d internal, %d external sets", gotImb.IntSets, gotImb.ExtSets)
+	}
+
+	wantWk, err := WeeklyLoads(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotWk, err := WeeklyLoadsColumns(columnize(maps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantWk, gotWk) {
+		t.Errorf("weekly views diverge:\nstream  %+v\ncolumns %+v", wantWk, gotWk)
+	}
+	for d := 0; d < 7; d++ {
+		if gotWk.Samples[d] == 0 {
+			t.Errorf("weekday %d has no samples; corpus too short", d)
+		}
+	}
+}
+
+// TestColumnsFoldError: a failing source propagates.
+func TestColumnsFoldError(t *testing.T) {
+	boom := errors.New("boom")
+	src := ColumnStream(func(func(*LinkColumns) error) error { return boom })
+	if _, err := ImbalanceCDFColumns(src, wmap.PaperImbalanceOptions()); !errors.Is(err, boom) {
+		t.Errorf("imbalance error = %v", err)
+	}
+	if _, err := WeeklyLoadsColumns(src); !errors.Is(err, boom) {
+		t.Errorf("weekly error = %v", err)
+	}
+}

@@ -37,6 +37,13 @@ func WeeklyLoads(src Stream) (*WeeklyView, error) {
 	if err != nil {
 		return nil, err
 	}
+	return weeklyFromByDay(byDay)
+}
+
+// weeklyFromByDay reduces the seven per-day sample sets to the WeeklyView;
+// WeeklyLoads and WeeklyLoadsColumns share it so both paths summarize
+// identically.
+func weeklyFromByDay(byDay []*stats.Sample) (*WeeklyView, error) {
 	view := &WeeklyView{}
 	weekday := stats.NewSample()
 	weekend := stats.NewSample()

@@ -129,8 +129,16 @@ func TestBroadcastConcurrent(t *testing.T) {
 					return
 				default:
 				}
+				// Select against stop while waiting: a churner that
+				// subscribes after the last publish would otherwise
+				// block on a channel nothing will ever send to.
 				s := b.Subscribe(1)
-				<-s.C()
+				select {
+				case <-stop:
+					s.Close()
+					return
+				case <-s.C():
+				}
 				s.Close()
 			}
 		}()

@@ -203,6 +203,12 @@ func (d *Detector) Observe(m *wmap.Map) []Emitted {
 	out = d.observeCongestion(out, m)
 	out = d.observeMaintenance(out, prev, m)
 	out = d.observeUpgrades(out, m)
+	// Render each event's summary exactly once, here, so the string is
+	// built at detection time and travels with the event through the
+	// archive cache, the broadcaster, and every response that serves it.
+	for i := range out {
+		out[i].Event.Summary = out[i].Event.Summarize()
+	}
 	return out
 }
 

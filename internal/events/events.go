@@ -132,10 +132,17 @@ type Event struct {
 	Load      wmap.Load
 	Confirmed bool
 	Gbps      int
+
+	// Summary is the one-line human description, rendered once — at
+	// detection by Detector.Observe, or at archive decode — so serving an
+	// event never re-runs Summarize's fmt work per request. Hand-built
+	// events may leave it empty; consumers fall back to Summarize.
+	Summary string
 }
 
-// Summary renders a one-line human description.
-func (e *Event) Summary() string {
+// Summarize renders the one-line human description from the typed fields.
+// Most callers should read the prebuilt Summary field instead.
+func (e *Event) Summarize() string {
 	switch e.Type {
 	case TypeChurn:
 		if e.Node != "" {

@@ -289,7 +289,7 @@ func TestSummaryCoversAllTypes(t *testing.T) {
 		{Type: TypeCongestionClear, A: "a", B: "b", Load: 40},
 	}
 	for _, ev := range evs {
-		if ev.Summary() == "" {
+		if ev.Summarize() == "" {
 			t.Fatalf("empty summary for %+v", ev)
 		}
 	}

@@ -329,10 +329,15 @@ type decodedEvents struct {
 	evs  []events.Event
 }
 
-// cost approximates the heap bytes a decoded frame pins; the strings are
-// shared with the reader state's table and not counted.
+// cost approximates the heap bytes a decoded frame pins: the struct rows,
+// plus each event's prebuilt summary string (the topology strings are
+// shared with the reader state's table and not counted).
 func (de *decodedEvents) cost() int64 {
-	return int64(len(de.evs))*160 + 96
+	c := int64(len(de.evs))*176 + 96
+	for i := range de.evs {
+		c += int64(len(de.evs[i].Summary))
+	}
+	return c
 }
 
 // decodeEventsAt reads and fully validates one event frame: framing, CRC,
@@ -445,13 +450,17 @@ func decodeEventsAt(r io.ReaderAt, size int64, meta *eventMeta, strs []string) (
 		if gbps > math.MaxInt32 {
 			return nil, corruptf(d.abs(), "event gbps %d absurd", gbps)
 		}
-		de.evs = append(de.evs, events.Event{
+		ev := events.Event{
 			Map: id, Type: ty, Time: time.Unix(int64(u), 0).UTC(),
 			Node: fields[0], A: fields[1], B: fields[2],
 			LabelA: fields[3], LabelB: fields[4],
 			Ordinal: int(ord), Delta: int(delta), Load: wmap.Load(load),
 			Confirmed: flags&1 != 0, Gbps: int(gbps),
-		})
+		}
+		// The summary is not persisted (it is derivable); render it once at
+		// decode so every request serving this cached frame reuses it.
+		ev.Summary = ev.Summarize()
+		de.evs = append(de.evs, ev)
 	}
 	if d.remaining() != 0 {
 		return nil, corruptf(d.abs(), "%d trailing bytes in event frame", d.remaining())

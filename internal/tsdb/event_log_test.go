@@ -47,6 +47,9 @@ func TestEventRoundTrip(t *testing.T) {
 		{Map: wmap.Europe, Type: events.TypeCongestionOnset, Time: at(5), A: "par-g1", B: "fra-g1", LabelA: "#1", Load: 70},
 		{Map: wmap.Europe, Type: events.TypeCongestionClear, Time: at(10), A: "par-g1", B: "fra-g1", LabelA: "#1", Load: 30},
 	}
+	for i := range want {
+		want[i].Summary = want[i].Summarize() // decoded events carry prebuilt summaries
+	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("events diverge:\ngot  %+v\nwant %+v", got, want)
 	}

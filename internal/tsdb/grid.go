@@ -1,0 +1,592 @@
+package tsdb
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"ovhweather/internal/wmap"
+)
+
+// The grid engine: one whole-map load query answered in a single ordered
+// columnar pass, instead of the N independent scans a dashboard would
+// otherwise issue per LinkKey. The rendered weather map is the paper's
+// artifact — every link of a map colored at once — so the full-map range
+// query is the hot path.
+//
+// The scan has two legs, mirroring the per-link planner exactly:
+//
+//   - Rollup leg: every link is planned through planWithBlocks (the same
+//     code the per-link endpoint runs), links land on tiers, and each tier's
+//     needed rollup blocks are decoded ONCE with every column; each decoded
+//     block fans its buckets into all the planned links it carries.
+//   - Raw leg: the raw blocks any link still needs (whole-range for links
+//     the planner declined, the unrolled tail past each plan's cut for the
+//     rest) are decoded ONCE with every column through the read-ahead
+//     pipeline, and each block's points fan into the per-link accumulators.
+//
+// Because each link's accumulator receives exactly the (block, bucket,
+// point) set the per-link path would fold, and the accumulation arithmetic
+// is the shared loadWindow code, a grid cell is byte-identical to the
+// per-link response once encoded — the property TestGridMatchesPerLink
+// pins. Memory is bounded by maxGridCells windows across all accumulators;
+// larger asks fail fast with a coarser-step hint before any decode.
+
+// maxGridCells caps the total resample windows a grid query may allocate
+// across every link accumulator (~32 B each). A month of 1h windows over a
+// 600-link map is ~432k cells; the cap leaves generous headroom while
+// keeping a hostile step/range combination from becoming an allocation
+// bomb.
+const maxGridCells = 4 << 20
+
+// GridTooLargeError rejects a grid query whose accumulators would exceed
+// maxGridCells windows, carrying a coarser step that fits.
+type GridTooLargeError struct {
+	Cells int64
+	Max   int64
+	Hint  time.Duration
+}
+
+func (e *GridTooLargeError) Error() string {
+	return fmt.Sprintf("tsdb: grid of ~%d cells exceeds the %d-cell cap; resample with a coarser step (e.g. step=%s)",
+		e.Cells, e.Max, formatStepParam(e.Hint))
+}
+
+// gridLink is one link's planned-or-raw accumulator inside a grid scan.
+type gridLink struct {
+	key  LinkKey
+	plan *rollupPlan // nil: the planner declined, the raw leg serves it all
+	lw   loadWindows // lw.wins nil when the link has no point in range
+
+	ids, groups []int // link-bearing raw blocks over the range, chronological
+	end         int64 // newest raw second the link can contribute (≤ toU)
+}
+
+// gridResult is an immutable finished grid scan, shared by singleflighted
+// requests.
+type gridResult struct {
+	id    wmap.MapID
+	links []gridLink
+	rows  int64 // non-empty windows summed over links
+}
+
+// GridScan runs the whole-map query: every requested link's load series
+// over [from, to] resampled at step, computed in one pass. keys nil means
+// every link of the map, in first-seen topology order; explicit keys keep
+// their order and must all exist on the map (ErrUnknownLink otherwise).
+// noRollups forces the raw leg for every link — the corrupt-rollup
+// degradation path, and how the equivalence tests cover raw serving.
+func (r *Reader) GridScan(ctx context.Context, id wmap.MapID, keys []LinkKey, from, to time.Time, step time.Duration, noRollups bool) (*gridResult, error) {
+	if step <= 0 || step%time.Second != 0 {
+		return nil, fmt.Errorf("tsdb: grid step %s must be a positive whole number of seconds", step)
+	}
+	st := r.st()
+	if len(st.perMap[id]) == 0 {
+		return nil, fmt.Errorf("tsdb: map %q: %w", id, ErrUnknownMap)
+	}
+	fromU, toU := rangeBounds(from, to)
+	s := int64(step / time.Second)
+	blocks := st.blockRange(id, fromU, toU)
+	topoKeys, topoIdx := st.topoKeyIndexes()
+
+	if keys == nil {
+		// The universe: every link any in-range topology carries, ordered by
+		// first appearance — the column order a dashboard renders in.
+		seenTopo := make(map[int]bool)
+		have := make(map[LinkKey]bool)
+		for _, bi := range blocks {
+			ti := st.blocks[bi].topoIndex
+			if seenTopo[ti] {
+				continue
+			}
+			seenTopo[ti] = true
+			for _, k := range topoKeys[ti] {
+				if !have[k] {
+					have[k] = true
+					keys = append(keys, k)
+				}
+			}
+		}
+	} else {
+		for _, k := range keys {
+			if !st.mapHasLink(id, k) {
+				return nil, fmt.Errorf("tsdb: %s link %s: %w", id, k, ErrUnknownLink)
+			}
+		}
+	}
+
+	res := &gridResult{id: id, links: make([]gridLink, len(keys))}
+	usePlans := !noRollups && !r.rollupOff.Load()
+
+	// Plan every link through the per-link planner core, then bound the
+	// total accumulator size before allocating anything.
+	var cells int64
+	for li := range keys {
+		gl := &res.links[li]
+		gl.key = keys[li]
+		for _, bi := range blocks {
+			if ci, ok := topoIdx[st.blocks[bi].topoIndex][gl.key]; ok {
+				gl.ids = append(gl.ids, bi)
+				gl.groups = append(gl.groups, ci)
+			}
+		}
+		if len(gl.ids) == 0 {
+			continue // no data in range: encodes as empty series
+		}
+		gl.end = st.blocks[gl.ids[len(gl.ids)-1]].lastUnix
+		if gl.end > toU {
+			gl.end = toU
+		}
+		if usePlans {
+			lookup := func(ti int) int {
+				if ci, ok := topoIdx[ti][gl.key]; ok {
+					return ci
+				}
+				return -1
+			}
+			gl.plan = planWithBlocks(st, id, lookup, gl.ids, gl.groups, fromU, toU, s)
+		}
+		if gl.plan != nil {
+			cells += gl.plan.nWins
+		} else {
+			// Raw anchor is the first decoded sample, not yet known; bound
+			// the window count from the first block's base time.
+			t0 := st.blocks[gl.ids[0]].baseUnix
+			if t0 < fromU {
+				t0 = fromU
+			}
+			cells += (gl.end-t0)/s + 1
+		}
+	}
+	if cells > maxGridCells {
+		return nil, &GridTooLargeError{Cells: cells, Max: maxGridCells,
+			Hint: gridStepHint(st, id, cells, s)}
+	}
+
+	if err := r.gridRollupLeg(ctx, st, res, s); err != nil {
+		return nil, err
+	}
+	if err := r.gridRawLeg(ctx, st, res, blocks, topoIdx, fromU, toU, s); err != nil {
+		return nil, err
+	}
+	for li := range res.links {
+		for k := range res.links[li].lw.wins {
+			if res.links[li].lw.wins[k].n > 0 {
+				res.rows++
+			}
+		}
+	}
+	r.countGrid(res)
+	return res, nil
+}
+
+// gridRollupLeg serves every planned link's bulk [t0, cut) from its tier:
+// the union of rollup blocks any link on a tier needs is decoded once with
+// all columns, and each decoded block fans its buckets into every planned
+// link it carries. Inclusion per link repeats planWithBlocks' rids filter
+// exactly, so each accumulator folds the same (block, bucket) set the
+// per-link path would.
+func (r *Reader) gridRollupLeg(ctx context.Context, st *readerState, res *gridResult, s int64) error {
+	byRes := make(map[int64][]*gridLink)
+	for li := range res.links {
+		gl := &res.links[li]
+		if gl.plan == nil {
+			continue
+		}
+		gl.lw = loadWindows{t0: gl.plan.t0, step: s, res: gl.plan.res}
+		gl.lw.wins = make([]loadWindow, gl.plan.nWins)
+		for k := range gl.lw.wins {
+			gl.lw.wins[k].abMin, gl.lw.wins[k].baMin = math.MaxUint8, math.MaxUint8
+		}
+		byRes[gl.plan.res] = append(byRes[gl.plan.res], gl)
+	}
+	if len(byRes) == 0 {
+		return nil
+	}
+	_, topoIdx := st.topoKeyIndexes()
+	resolutions := make([]int64, 0, len(byRes))
+	for tierRes := range byRes {
+		resolutions = append(resolutions, tierRes)
+	}
+	sort.Slice(resolutions, func(a, b int) bool { return resolutions[a] < resolutions[b] })
+
+	for _, tierRes := range resolutions {
+		links := byRes[tierRes]
+		var tier *rollupTier
+		for k := range st.rollupTiers[res.id] {
+			if st.rollupTiers[res.id][k].res == tierRes {
+				tier = &st.rollupTiers[res.id][k]
+				break
+			}
+		}
+		if tier == nil { // unreachable: the plan chose the tier from this list
+			return corruptf(0, "planned tier %ds vanished from map %s", tierRes, res.id)
+		}
+		// The union of every link's rids, in the tier's chronological order.
+		var rids []int
+		for _, ri := range tier.entries {
+			m := &st.rollups[ri]
+			for _, gl := range links {
+				if _, ok := topoIdx[m.topoIndex][gl.key]; !ok {
+					continue
+				}
+				if m.lastBucket < gl.plan.t0 || m.firstBucket >= gl.plan.cut {
+					continue
+				}
+				rids = append(rids, ri)
+				break
+			}
+		}
+		rctx, cancel := context.WithCancel(ctx)
+		out := runReadAhead(rctx, len(rids), defaultReadAheadWorkers(), func(i int) (cacheValue, error) {
+			return r.rollup(st, rids[i], allColumns)
+		})
+		err := func() error {
+			defer cancel()
+			i := 0
+			for rv := range out {
+				if rv.err != nil {
+					return rv.err
+				}
+				ru := rv.v.(*decodedRollup)
+				m := &st.rollups[rids[i]]
+				i++
+				for _, gl := range links {
+					ci, ok := topoIdx[m.topoIndex][gl.key]
+					if !ok || m.lastBucket < gl.plan.t0 || m.firstBucket >= gl.plan.cut {
+						continue
+					}
+					if err := foldRollupWindows(ru, ci, &gl.lw, gl.plan.cut); err != nil {
+						return err
+					}
+				}
+			}
+			return ctx.Err()
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldRollupWindows folds one link's buckets of a decoded rollup block into
+// its window accumulator — the same arithmetic as linkLoadWindows' bulk
+// loop (fragments of one bucket merge by summing and widening).
+func foldRollupWindows(ru *decodedRollup, ci int, lw *loadWindows, cut int64) error {
+	abS, baS := ru.sums[2*ci], ru.sums[2*ci+1]
+	abMin, abMax := ru.mins[2*ci], ru.maxs[2*ci]
+	baMin, baMax := ru.mins[2*ci+1], ru.maxs[2*ci+1]
+	for bi, start := range ru.starts {
+		if start < lw.t0 {
+			continue
+		}
+		if start >= cut {
+			break // starts ascend; the rest is served raw
+		}
+		k := (start - lw.t0) / lw.step
+		if k >= int64(len(lw.wins)) {
+			return corruptf(ru.meta.offset, "rollup bucket at %d beyond the map's raw range", start)
+		}
+		w := &lw.wins[k]
+		w.n += ru.counts[bi]
+		w.ab += abS[bi]
+		w.ba += baS[bi]
+		if abMin[bi] < w.abMin {
+			w.abMin = abMin[bi]
+		}
+		if abMax[bi] > w.abMax {
+			w.abMax = abMax[bi]
+		}
+		if baMin[bi] < w.baMin {
+			w.baMin = baMin[bi]
+		}
+		if baMax[bi] > w.baMax {
+			w.baMax = baMax[bi]
+		}
+	}
+	return nil
+}
+
+// gridRawLeg decodes, once each and in order, the raw blocks any link still
+// needs, and fans each block's trimmed points into the accumulators: the
+// whole range for planner-declined links (windows lazily anchored at the
+// link's first in-range sample, exactly Resample's anchor), the tail past
+// cut for planned ones.
+func (r *Reader) gridRawLeg(ctx context.Context, st *readerState, res *gridResult, blocks []int, topoIdx []map[LinkKey]int, fromU, toU, s int64) error {
+	needed := make(map[int]bool)
+	for li := range res.links {
+		gl := &res.links[li]
+		if gl.plan == nil {
+			for _, bi := range gl.ids {
+				needed[bi] = true
+			}
+			continue
+		}
+		if gl.plan.cut > toU {
+			continue // the tier covered everything; no tail
+		}
+		for _, bi := range gl.ids {
+			if st.blocks[bi].lastUnix >= gl.plan.cut {
+				needed[bi] = true
+			}
+		}
+	}
+	if len(needed) == 0 {
+		return ctx.Err()
+	}
+	ids := make([]int, 0, len(needed))
+	for _, bi := range blocks { // keep chronological order
+		if needed[bi] {
+			ids = append(ids, bi)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := r.startReadAhead(ctx, st, ids, func(int) int { return allColumns }, defaultReadAheadWorkers())
+	i := 0
+	for rv := range out {
+		if rv.err != nil {
+			return rv.err
+		}
+		db := rv.v.(*decodedBlock)
+		meta := &st.blocks[ids[i]]
+		i++
+		idx := topoIdx[meta.topoIndex]
+		lo := sort.Search(len(db.times), func(k int) bool { return db.times[k] >= fromU })
+		hi := sort.Search(len(db.times), func(k int) bool { return db.times[k] > toU })
+		if lo >= hi {
+			continue
+		}
+		for li := range res.links {
+			gl := &res.links[li]
+			ci, ok := idx[gl.key]
+			if !ok {
+				continue
+			}
+			start := lo
+			if gl.plan != nil {
+				if gl.plan.cut > toU || meta.lastUnix < gl.plan.cut {
+					continue
+				}
+				// The tail starts at cut, not fromU — the tier already
+				// served everything before it.
+				start = lo + sort.Search(hi-lo, func(k int) bool { return db.times[lo+k] >= gl.plan.cut })
+			}
+			gl.accumulateRaw(db.times[start:hi], db.cols[2*ci][start:hi], db.cols[2*ci+1][start:hi], s)
+		}
+	}
+	return ctx.Err()
+}
+
+// accumulateRaw folds trimmed raw points into the link's windows — the same
+// per-point arithmetic as linkLoadWindows' tail loop. A planner-declined
+// link allocates its windows on the first sample, anchoring t0 there.
+func (gl *gridLink) accumulateRaw(times []int64, abCol, baCol []wmap.Load, s int64) {
+	if len(times) == 0 {
+		return
+	}
+	if gl.lw.wins == nil {
+		t0 := times[0]
+		gl.lw = loadWindows{t0: t0, step: s}
+		gl.lw.wins = make([]loadWindow, (gl.end-t0)/s+1)
+		for k := range gl.lw.wins {
+			gl.lw.wins[k].abMin, gl.lw.wins[k].baMin = math.MaxUint8, math.MaxUint8
+		}
+	}
+	for k, sec := range times {
+		w := &gl.lw.wins[(sec-gl.lw.t0)/s]
+		w.n++
+		ab, ba := uint8(abCol[k]), uint8(baCol[k])
+		w.ab += int64(ab)
+		w.ba += int64(ba)
+		if ab < w.abMin {
+			w.abMin = ab
+		}
+		if ab > w.abMax {
+			w.abMax = ab
+		}
+		if ba < w.baMin {
+			w.baMin = ba
+		}
+		if ba > w.baMax {
+			w.baMax = ba
+		}
+	}
+}
+
+// gridStepHint scales the requested step up until the cell count fits,
+// rounded to a multiple of the coarsest rollup tier when one exists so the
+// suggested query still plans.
+func gridStepHint(st *readerState, id wmap.MapID, cells, s int64) time.Duration {
+	factor := (cells + maxGridCells - 1) / maxGridCells
+	need := s * factor
+	var coarsest int64
+	for _, tier := range st.rollupTiers[id] {
+		if tier.res > coarsest {
+			coarsest = tier.res
+		}
+	}
+	if coarsest > 0 && need%coarsest != 0 {
+		need = (need/coarsest + 1) * coarsest
+	}
+	return time.Duration(need) * time.Second
+}
+
+// GridChunk is one block's worth of the whole-map columnar scan behind
+// Reader.GridColumns: the block topology's links in column order, the
+// trimmed time column, and each link's two directed load columns aligned
+// with Times. Every slice aliases shared (possibly cached) decoded state —
+// callers must not mutate or retain them past the callback.
+type GridChunk struct {
+	Keys  []LinkKey   // column order, ordinals assigned
+	Links []wmap.Link // the topology rows (loads zeroed)
+	Times []int64     // snapshot seconds, trimmed to the query range
+	AB    [][]wmap.Load
+	BA    [][]wmap.Load
+}
+
+// GridColumns streams the map's raw columns block by block over [from, to]
+// (zero times unbounded), decoding each block once with every column — the
+// multi-link fold primitive wmanalyze's imbalance and weekly figures
+// consume instead of materializing a *wmap.Map per snapshot.
+func (r *Reader) GridColumns(ctx context.Context, id wmap.MapID, from, to time.Time, fn func(c *GridChunk) error) error {
+	st := r.st()
+	if len(st.perMap[id]) == 0 {
+		return fmt.Errorf("tsdb: map %q: %w", id, ErrUnknownMap)
+	}
+	fromU, toU := rangeBounds(from, to)
+	ids := st.blockRange(id, fromU, toU)
+	topoKeys, _ := st.topoKeyIndexes()
+	if len(ids) == 0 {
+		return ctx.Err()
+	}
+	r.grid.mu.Lock()
+	r.grid.columnScans++
+	r.grid.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := r.startReadAhead(ctx, st, ids, func(int) int { return allColumns }, defaultReadAheadWorkers())
+	var c GridChunk
+	i := 0
+	for rv := range out {
+		if rv.err != nil {
+			return rv.err
+		}
+		db := rv.v.(*decodedBlock)
+		meta := &st.blocks[ids[i]]
+		i++
+		lo := sort.Search(len(db.times), func(k int) bool { return db.times[k] >= fromU })
+		hi := sort.Search(len(db.times), func(k int) bool { return db.times[k] > toU })
+		if lo >= hi {
+			continue
+		}
+		L := len(st.topos[meta.topoIndex].links)
+		c.Keys = topoKeys[meta.topoIndex]
+		c.Links = st.topos[meta.topoIndex].links
+		c.Times = db.times[lo:hi]
+		c.AB = append(c.AB[:0], make([][]wmap.Load, L)...)
+		c.BA = append(c.BA[:0], make([][]wmap.Load, L)...)
+		for li := 0; li < L; li++ {
+			c.AB[li] = db.cols[2*li][lo:hi]
+			c.BA[li] = db.cols[2*li+1][lo:hi]
+		}
+		if err := fn(&c); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// gridCounters tallies the grid engine's serving behavior.
+type gridCounters struct {
+	mu           sync.Mutex
+	queries      int64
+	linksPlanned int64
+	linksRaw     int64
+	rows         int64
+	dedups       int64
+	streamed     int64
+	fallbacks    int64
+	columnScans  int64
+}
+
+// GridStats is the /api/v1/stats "grid" group and the tsdb_grid expvar: a
+// point-in-time snapshot of the grid query counters.
+type GridStats struct {
+	// Queries counts completed grid scans (deduplicated waiters excluded).
+	Queries int64 `json:"queries"`
+	// LinksPlanned / LinksRaw count per-link accumulators by serving path.
+	LinksPlanned int64 `json:"links_planned"`
+	LinksRaw     int64 `json:"links_raw"`
+	// Rows counts emitted non-empty resample windows across all queries.
+	Rows int64 `json:"rows"`
+	// Dedups counts requests that shared another request's in-flight scan.
+	Dedups int64 `json:"dedups"`
+	// Streamed counts responses flushed in chunks rather than one body.
+	Streamed int64 `json:"streamed"`
+	// Fallbacks counts scans degraded to raw-only by a corrupt rollup.
+	Fallbacks int64 `json:"rollup_fallbacks"`
+	// ColumnScans counts GridColumns fold passes (wmanalyze's figures).
+	ColumnScans int64 `json:"column_scans"`
+}
+
+// countGrid records one finished scan.
+func (r *Reader) countGrid(res *gridResult) {
+	var planned, raw int64
+	for li := range res.links {
+		if res.links[li].plan != nil {
+			planned++
+		} else {
+			raw++
+		}
+	}
+	r.grid.mu.Lock()
+	r.grid.queries++
+	r.grid.linksPlanned += planned
+	r.grid.linksRaw += raw
+	r.grid.rows += res.rows
+	r.grid.mu.Unlock()
+}
+
+// countGridDedup records a request served by another request's scan.
+func (r *Reader) countGridDedup() {
+	r.grid.mu.Lock()
+	r.grid.dedups++
+	r.grid.mu.Unlock()
+}
+
+// countGridStreamed records a chunk-flushed grid response.
+func (r *Reader) countGridStreamed() {
+	r.grid.mu.Lock()
+	r.grid.streamed++
+	r.grid.mu.Unlock()
+}
+
+// countGridFallback records a corrupt-rollup degradation to raw serving.
+func (r *Reader) countGridFallback() {
+	r.grid.mu.Lock()
+	r.grid.fallbacks++
+	r.grid.mu.Unlock()
+}
+
+// GridStats reads the grid engine counters.
+func (r *Reader) GridStats() GridStats {
+	r.grid.mu.Lock()
+	defer r.grid.mu.Unlock()
+	return GridStats{
+		Queries:      r.grid.queries,
+		LinksPlanned: r.grid.linksPlanned,
+		LinksRaw:     r.grid.linksRaw,
+		Rows:         r.grid.rows,
+		Dedups:       r.grid.dedups,
+		Streamed:     r.grid.streamed,
+		Fallbacks:    r.grid.fallbacks,
+		ColumnScans:  r.grid.columnScans,
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ovhweather/internal/events"
@@ -66,6 +67,10 @@ type api struct {
 	// hub, when non-nil, is the live event broadcaster backing
 	// /api/v1/stream; the query endpoints work without it.
 	hub *events.Broadcaster
+
+	// gridCalls collapses identical in-flight grid scans; see http_grid.go.
+	gridMu    sync.Mutex
+	gridCalls map[string]*gridCall
 }
 
 func (a *api) routes() http.Handler {
@@ -73,6 +78,7 @@ func (a *api) routes() http.Handler {
 	mux.HandleFunc("GET /api/v1/maps", a.handleMaps)
 	mux.HandleFunc("GET /api/v1/topology", a.handleTopology)
 	mux.HandleFunc("GET /api/v1/links/{id}/load", a.handleLinkLoad)
+	mux.HandleFunc("GET /api/v1/grid", a.handleGrid)
 	mux.HandleFunc("GET /api/v1/imbalance", a.handleImbalance)
 	mux.HandleFunc("GET /api/v1/events", a.handleEvents)
 	mux.HandleFunc("GET /api/v1/stream", a.handleStream)
@@ -346,7 +352,7 @@ func (a *api) handleLinkLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	if lw != nil {
 		a.rd.countPlanned(lw.res)
-		a.serveWindowLoad(w, linkID, id, key, from, to, step, bands, lw)
+		a.serveWindowLoad(w, r, linkID, id, key, from, to, step, bands, lw)
 		return
 	}
 	a.rd.countPlanned(0)
@@ -377,14 +383,21 @@ func (a *api) handleLinkLoad(w http.ResponseWriter, r *http.Request) {
 // serveWindowLoad encodes a planner result. Without bands the body is
 // byte-identical to the Resample path: same window times, same means,
 // because both sides divide the same integer sums by the same counts.
-// bands adds per-window min/max series for each direction.
-func (a *api) serveWindowLoad(w http.ResponseWriter, linkID string, id wmap.MapID, key LinkKey, from, to time.Time, step time.Duration, bands bool, lw *loadWindows) {
+// bands adds per-window min/max series for each direction. A client that
+// hung up between the scan and the encode gets 499 instead of a body
+// nobody will read.
+func (a *api) serveWindowLoad(w http.ResponseWriter, r *http.Request, linkID string, id wmap.MapID, key LinkKey, from, to time.Time, step time.Duration, bands bool, lw *loadWindows) {
+	if r.Context().Err() != nil {
+		w.WriteHeader(statusClientClosedRequest)
+		return
+	}
 	bp := getEncBuf()
+	var memo meanMemo
 	b := appendLoadMeta(*bp, linkID, id, key, from, to, step)
 	b = append(b, `,"ab":`...)
-	b = appendWindowMeans(b, lw, false)
+	b = appendWindowMeans(b, lw, false, &memo)
 	b = append(b, `,"ba":`...)
-	b = appendWindowMeans(b, lw, true)
+	b = appendWindowMeans(b, lw, true, &memo)
 	if bands {
 		b = append(b, `,"ab_min":`...)
 		b = appendWindowExtremes(b, lw, func(w *loadWindow) uint8 { return w.abMin })
@@ -402,8 +415,10 @@ func (a *api) serveWindowLoad(w http.ResponseWriter, linkID string, id wmap.MapI
 }
 
 // appendWindowMeans appends one direction's mean series from planned
-// windows, skipping empty windows exactly as Resample does.
-func appendWindowMeans(b []byte, lw *loadWindows, ba bool) []byte {
+// windows, skipping empty windows exactly as Resample does. The memo
+// carries rendered means across series — and, for a grid, across every
+// link in the response.
+func appendWindowMeans(b []byte, lw *loadWindows, ba bool, memo *meanMemo) []byte {
 	b = append(b, '[')
 	var enc timeEncoder
 	first := true
@@ -423,7 +438,7 @@ func appendWindowMeans(b []byte, lw *loadWindows, ba bool) []byte {
 		b = append(b, `{"t":`...)
 		b = enc.appendUnix(b, lw.t0+int64(k)*lw.step)
 		b = append(b, `,"v":`...)
-		b = appendJSONFloat(b, float64(sum)/float64(win.n))
+		b = memo.appendMean(b, sum, win.n)
 		b = append(b, '}')
 	}
 	return append(b, ']')
@@ -706,6 +721,7 @@ func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
 			"stats":   cs,
 		},
 		"planner": a.rd.PlannerStats(),
+		"grid":    a.rd.GridStats(),
 		"events":  a.eventStats(st),
 	})
 }

@@ -107,6 +107,12 @@ func (a *api) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	bp := getEncBuf()
 	b := *bp
+	// Pre-size from the event count: a row encodes to well under 256 bytes
+	// (bounded fields plus the prebuilt summary), so one up-front grow
+	// replaces log2(n) doubling copies of a multi-MB body.
+	if need := 128 + 256*len(evs); cap(b) < need {
+		b = make([]byte, 0, need)
+	}
 	b = append(b, `{"count":`...)
 	b = strconv.AppendInt(b, int64(len(evs)), 10)
 	if f.Map != "" {
@@ -173,7 +179,11 @@ func appendEvent(b []byte, ev *events.Event) []byte {
 		}
 	}
 	b = append(b, `,"summary":`...)
-	b = appendJSONString(b, ev.Summary())
+	if ev.Summary != "" {
+		b = appendJSONString(b, ev.Summary)
+	} else {
+		b = appendJSONString(b, ev.Summarize()) // hand-built event: render now
+	}
 	return append(b, '}')
 }
 

@@ -1,0 +1,249 @@
+package tsdb
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ovhweather/internal/wmap"
+)
+
+// GET /api/v1/grid?map=&from=&to=&step=[&bands=1][&links=a,b] — the
+// whole-map load query: every link's resampled series in one response,
+// computed by the single-pass grid engine instead of N per-link requests.
+// Each link's series is byte-identical to what /links/{id}/load would
+// return for the same window.
+//
+// The response streams: per-link rows are encoded into a pooled buffer and
+// flushed once it crosses gridFlushBytes, so a full-map month never
+// materializes a multi-MB body. Small responses never flush and go out
+// with an exact Content-Length like every other endpoint. Identical
+// in-flight grids share one scan (singleflight keyed on the resolved
+// query); bands=1 rides the same scan, since accumulators always carry the
+// extremes.
+
+// gridFlushBytes is the pooled-buffer level that triggers a chunked flush.
+const gridFlushBytes = 256 << 10
+
+// gridCall is one in-flight grid scan shared by identical requests.
+type gridCall struct {
+	done chan struct{}
+	res  *gridResult
+	err  error
+}
+
+func (a *api) handleGrid(w http.ResponseWriter, r *http.Request) {
+	id, ok := a.queryMap(w, r)
+	if !ok {
+		return
+	}
+	bFrom, bTo, _ := a.rd.Bounds(id)
+	from, fromGiven, ok := queryTime(w, r, "from", bFrom)
+	if !ok {
+		return
+	}
+	to, toGiven, ok := queryTime(w, r, "to", bTo)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	stepStr := q.Get("step")
+	if stepStr == "" {
+		writeError(w, http.StatusBadRequest, "missing step parameter — the grid is always resampled")
+		return
+	}
+	step, err := time.ParseDuration(stepStr)
+	if err != nil || step <= 0 || step%time.Second != 0 {
+		writeError(w, http.StatusBadRequest, "bad step %q: need a positive whole number of seconds", stepStr)
+		return
+	}
+	bands := q.Get("bands") == "1"
+
+	var keys []LinkKey
+	linksParam := q.Get("links")
+	if linksParam != "" {
+		for _, part := range strings.Split(linksParam, ",") {
+			part = strings.TrimSpace(part)
+			mid, key, ok := a.rd.ResolveLinkID(part)
+			if !ok || mid != id {
+				writeError(w, http.StatusNotFound, "unknown link id %q on map %s", part, id)
+				return
+			}
+			keys = append(keys, key)
+		}
+	}
+
+	sfKey := strings.Join([]string{"grid", string(id),
+		from.UTC().Format(time.RFC3339Nano), to.UTC().Format(time.RFC3339Nano),
+		step.String(), linksParam}, "\x00")
+	etagParts := []string{sfKey}
+	if bands {
+		etagParts = append(etagParts, "bands")
+	}
+	if serveCached(w, r, a.etag(etagParts...), fromGiven && toGiven) {
+		return
+	}
+
+	res, err := a.gridShared(r.Context(), sfKey, func() (*gridResult, error) {
+		return a.gridScanDegrading(r.Context(), id, keys, from, to, step)
+	})
+	if err != nil {
+		var tooBig *GridTooLargeError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		a.writeLoadError(w, err)
+		return
+	}
+	a.writeGrid(w, r, id, from, to, step, bands, res)
+}
+
+// gridScanDegrading runs the scan, degrading to raw-only serving when a
+// rollup block is corrupt — logged and counted, never a wrong answer.
+func (a *api) gridScanDegrading(ctx context.Context, id wmap.MapID, keys []LinkKey, from, to time.Time, step time.Duration) (*gridResult, error) {
+	res, err := a.rd.GridScan(ctx, id, keys, from, to, step, false)
+	var ce *CorruptError
+	if err != nil && errors.As(err, &ce) {
+		log.Printf("tsdb: api: grid scan of %s: %v; falling back to raw scan", id, err)
+		a.rd.countGridFallback()
+		res, err = a.rd.GridScan(ctx, id, keys, from, to, step, true)
+	}
+	return res, err
+}
+
+// gridShared collapses identical in-flight grids onto one scan. A waiter
+// whose leader was cancelled (the leader's client hung up, not ours)
+// retries and may become the new leader.
+func (a *api) gridShared(ctx context.Context, key string, run func() (*gridResult, error)) (*gridResult, error) {
+	for {
+		a.gridMu.Lock()
+		if a.gridCalls == nil {
+			a.gridCalls = make(map[string]*gridCall)
+		}
+		if c, ok := a.gridCalls[key]; ok {
+			a.gridMu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if c.err != nil &&
+				(errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) &&
+				ctx.Err() == nil {
+				continue
+			}
+			if c.err == nil {
+				a.rd.countGridDedup()
+			}
+			return c.res, c.err
+		}
+		c := &gridCall{done: make(chan struct{})}
+		a.gridCalls[key] = c
+		a.gridMu.Unlock()
+		c.res, c.err = run()
+		a.gridMu.Lock()
+		delete(a.gridCalls, key)
+		a.gridMu.Unlock()
+		close(c.done)
+		return c.res, c.err
+	}
+}
+
+// writeGrid encodes the scan: one row object per link, flushed in chunks
+// once the pooled buffer crosses gridFlushBytes, with an exact
+// Content-Length when everything fit in one buffer. r.Context() is checked
+// at every link boundary: cancellation before the first byte answers 499,
+// mid-stream it stops encoding work for a client that is gone.
+func (a *api) writeGrid(w http.ResponseWriter, r *http.Request, id wmap.MapID, from, to time.Time, step time.Duration, bands bool, res *gridResult) {
+	bp := getEncBuf()
+	b := *bp
+	defer func() {
+		*bp = b
+		putEncBuf(bp)
+	}()
+
+	b = append(b, `{"map":`...)
+	b = appendJSONString(b, string(id))
+	b = append(b, `,"from":`...)
+	b = appendJSONTime(b, from)
+	b = append(b, `,"to":`...)
+	b = appendJSONTime(b, to)
+	b = append(b, `,"step":`...)
+	b = appendJSONString(b, step.String())
+	b = append(b, `,"count":`...)
+	b = strconv.AppendInt(b, int64(len(res.links)), 10)
+	b = append(b, `,"links":[`...)
+
+	streamed := false
+	ctx := r.Context()
+	var memo meanMemo // shared across every link: one render per distinct mean
+	for li := range res.links {
+		if ctx.Err() != nil {
+			if !streamed {
+				w.WriteHeader(statusClientClosedRequest)
+			}
+			return
+		}
+		if li > 0 {
+			b = append(b, ',')
+		}
+		b = appendGridLink(b, id, &res.links[li], bands, &memo)
+		if len(b) >= gridFlushBytes {
+			if !streamed {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusOK)
+				streamed = true
+				a.rd.countGridStreamed()
+			}
+			if _, err := w.Write(b); err != nil {
+				return // client gone mid-stream; stop encoding
+			}
+			b = b[:0]
+		}
+	}
+	b = append(b, ']', '}', '\n')
+	if streamed {
+		w.Write(b)
+		return
+	}
+	writeBody(w, http.StatusOK, b)
+}
+
+// appendGridLink encodes one link row: the same identity fields as the
+// per-link endpoint's meta, then the same series arrays — shared encoders,
+// so the bytes per series match /links/{id}/load exactly.
+func appendGridLink(b []byte, id wmap.MapID, gl *gridLink, bands bool, memo *meanMemo) []byte {
+	k := gl.key
+	b = append(b, `{"id":`...)
+	b = appendJSONString(b, k.ID(id))
+	b = append(b, `,"a":`...)
+	b = appendJSONString(b, k.A)
+	b = append(b, `,"b":`...)
+	b = appendJSONString(b, k.B)
+	b = append(b, `,"label_a":`...)
+	b = appendJSONString(b, k.LabelA)
+	b = append(b, `,"label_b":`...)
+	b = appendJSONString(b, k.LabelB)
+	b = append(b, `,"ordinal":`...)
+	b = strconv.AppendInt(b, int64(k.Ordinal), 10)
+	b = append(b, `,"ab":`...)
+	b = appendWindowMeans(b, &gl.lw, false, memo)
+	b = append(b, `,"ba":`...)
+	b = appendWindowMeans(b, &gl.lw, true, memo)
+	if bands {
+		b = append(b, `,"ab_min":`...)
+		b = appendWindowExtremes(b, &gl.lw, func(w *loadWindow) uint8 { return w.abMin })
+		b = append(b, `,"ab_max":`...)
+		b = appendWindowExtremes(b, &gl.lw, func(w *loadWindow) uint8 { return w.abMax })
+		b = append(b, `,"ba_min":`...)
+		b = appendWindowExtremes(b, &gl.lw, func(w *loadWindow) uint8 { return w.baMin })
+		b = append(b, `,"ba_max":`...)
+		b = appendWindowExtremes(b, &gl.lw, func(w *loadWindow) uint8 { return w.baMax })
+	}
+	return append(b, '}')
+}

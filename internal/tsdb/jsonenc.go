@@ -246,3 +246,44 @@ func appendJSONFloat(b []byte, v float64) []byte {
 	}
 	return b
 }
+
+// meanMemo caches rendered window means within one response. A window mean
+// is the rational sum/n with sum bounded by 100·n (loads are percentages),
+// and every series in a response shares one step — so the same window
+// sample count n recurs everywhere and the value vocabulary is at most a
+// few thousand entries even when a grid emits hundreds of thousands of
+// windows. Rendering each distinct (sum, n) once and replaying the bytes
+// skips the shortest-float search that otherwise dominates encode time.
+// Entries are produced by appendJSONFloat itself, so memoized output is
+// byte-identical to the unmemoized path.
+type meanMemo struct {
+	n     int64    // window sample count the table was built for
+	vals  [][]byte // sum -> rendered mean; nil entry = not yet rendered
+	arena []byte   // backing storage for rendered entries
+}
+
+// maxMeanMemoSum caps the table size: window counts whose sum range
+// 100·n exceeds it (steps coarser than a few hours of 5-min samples)
+// fall back to direct formatting.
+const maxMeanMemoSum = 1 << 13
+
+// appendMean appends the JSON rendering of sum/n, memoized. Windows whose
+// count differs from the table's (partial edge windows, mixed tiers) or
+// whose sum falls outside the table format directly — same bytes, no cache.
+func (m *meanMemo) appendMean(b []byte, sum, n int64) []byte {
+	if m.vals == nil && n > 0 && 100*n <= maxMeanMemoSum {
+		m.n = n
+		m.vals = make([][]byte, 100*n+1)
+	}
+	if n != m.n || m.vals == nil || sum < 0 || sum >= int64(len(m.vals)) {
+		return appendJSONFloat(b, float64(sum)/float64(n))
+	}
+	v := m.vals[sum]
+	if v == nil {
+		start := len(m.arena)
+		m.arena = appendJSONFloat(m.arena, float64(sum)/float64(n))
+		v = m.arena[start:len(m.arena):len(m.arena)]
+		m.vals[sum] = v
+	}
+	return append(b, v...)
+}

@@ -76,6 +76,18 @@ func planLoadWindows(st *readerState, id wmap.MapID, key LinkKey, fromU, toU, s 
 			groups = append(groups, ci)
 		}
 	}
+	lookup := func(ti int) int { return st.topos[ti].linkIndex(key) }
+	return planWithBlocks(st, id, lookup, ids, groups, fromU, toU, s)
+}
+
+// planWithBlocks is the planning core behind planLoadWindows, with the
+// link's per-topology column resolution abstracted into lookup (return -1
+// when the topology lacks the link). The grid engine plans every link of a
+// map through this same function — same eligibility rules, same tier
+// choice — passing a map-backed lookup instead of the O(links) scan, so a
+// grid cell is served by the exact plan the per-link endpoint would build.
+// ids/groups are the link-bearing raw blocks of the range, chronological.
+func planWithBlocks(st *readerState, id wmap.MapID, lookup func(ti int) int, ids, groups []int, fromU, toU, s int64) *rollupPlan {
 	if len(ids) == 0 {
 		return nil
 	}
@@ -117,7 +129,7 @@ func planLoadWindows(st *readerState, id wmap.MapID, key LinkKey, fromU, toU, s 
 		var rids, rgroups []int
 		for _, ri := range tier.entries {
 			m := &st.rollups[ri]
-			ci := st.topos[m.topoIndex].linkIndex(key)
+			ci := lookup(m.topoIndex)
 			if ci < 0 || m.lastBucket < t0 || m.firstBucket >= cut {
 				continue
 			}

@@ -61,6 +61,10 @@ type Reader struct {
 	// query so everything takes the raw path. See planner.go.
 	planner   plannerCounters
 	rollupOff atomic.Bool
+
+	// grid tallies the multi-link grid engine's serving counters; see
+	// grid.go.
+	grid gridCounters
 }
 
 // readerState is one committed view of the archive: everything parsed from
@@ -88,6 +92,15 @@ type readerState struct {
 
 	linkDirOnce sync.Once
 	linkDir     map[string]linkAddr
+
+	// topoKeys/topoKeyIdx are the per-topology link-key directory the grid
+	// engine plans with: keys in column order and the inverse map, built
+	// once per state on first grid query (the same lazy discipline as
+	// linkDir). Without the maps, planning L links costs O(L·B·links)
+	// string comparisons; with them it is O(L·B) map probes.
+	topoKeyOnce sync.Once
+	topoKeys    [][]LinkKey
+	topoKeyIdx  []map[LinkKey]int
 }
 
 // rollupTier is one map's rollup blocks at one resolution.
@@ -1052,6 +1065,25 @@ func (r *Reader) rangePointCount(id wmap.MapID, from, to time.Time) int {
 		n += st.blocks[bi].points
 	}
 	return n
+}
+
+// topoKeyIndexes returns the per-topology link-key directory, building it
+// on first use. The returned slices are immutable shared state.
+func (st *readerState) topoKeyIndexes() (keys [][]LinkKey, idx []map[LinkKey]int) {
+	st.topoKeyOnce.Do(func() {
+		st.topoKeys = make([][]LinkKey, len(st.topos))
+		st.topoKeyIdx = make([]map[LinkKey]int, len(st.topos))
+		for ti, t := range st.topos {
+			ks := linkKeys(t.links)
+			m := make(map[LinkKey]int, len(ks))
+			for ci, k := range ks {
+				m[k] = ci
+			}
+			st.topoKeys[ti] = ks
+			st.topoKeyIdx[ti] = m
+		}
+	})
+	return st.topoKeys, st.topoKeyIdx
 }
 
 // ResolveLinkID maps a query-API link id back to its map and key, scanning
