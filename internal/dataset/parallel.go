@@ -217,6 +217,7 @@ func (s *Store) processOrdered(ctx context.Context, id wmap.MapID, entries []Ent
 						opt.Progress(done, total)
 					}
 					mu.Unlock()
+					//lint:ignore wmlint/ctxflow j.res has capacity 1 and receives exactly this one send
 					j.res <- m
 				case <-wctx.Done():
 					return
@@ -318,6 +319,7 @@ func (s *Store) WalkMapsParallel(ctx context.Context, id wmap.MapID, workers int
 						return
 					}
 					m, err := s.LoadMap(id, j.entry.Time)
+					//lint:ignore wmlint/ctxflow j.out has capacity 1 and receives exactly this one send
 					j.out <- slot{m: m, err: err}
 				case <-wctx.Done():
 					return

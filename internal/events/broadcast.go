@@ -7,6 +7,12 @@ import "sync"
 // falls behind loses events (counted, per subscriber and globally) rather
 // than stalling the ingest path. Subscribers that keep up see every
 // published event in publish order.
+//
+// Every field below mu — the subscriber set and all counters, including
+// the per-subscriber ones reached through it — is guarded by mu; the
+// wmlint sharded analyzer enforces the locking and forbids value copies.
+//
+//wm:sharded
 type Broadcaster struct {
 	mu        sync.Mutex
 	subs      map[*Subscriber]struct{}

@@ -89,6 +89,62 @@ func TestBroadcastCloseUnblocksSubscribers(t *testing.T) {
 	s2.Close()
 }
 
+// TestBroadcast32Goroutines drives one broadcaster from 32 goroutines in
+// four mixed roles — publishers, stats readers, subscribe/close churners,
+// and drop counters — as a pure data-race probe for the mu-guarded
+// counter state (the invariant wmlint's sharded analyzer enforces
+// statically; this is its dynamic twin under -race).
+func TestBroadcast32Goroutines(t *testing.T) {
+	const (
+		goroutines = 32
+		rounds     = 100
+	)
+	b := NewBroadcaster()
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 4 {
+			case 0: // publisher
+				for i := 0; i < rounds; i++ {
+					b.Publish(Event{Type: TypeChurn, Ordinal: g, Delta: i})
+				}
+			case 1: // stats reader
+				for i := 0; i < rounds; i++ {
+					st := b.Stats()
+					if st.Dropped > st.Published*goroutines {
+						t.Errorf("stats impossible: %+v", st)
+						return
+					}
+				}
+			case 2: // subscribe/close churner
+				for i := 0; i < rounds; i++ {
+					s := b.Subscribe(1)
+					select {
+					case <-s.C():
+					default:
+					}
+					s.Close()
+				}
+			case 3: // drop counter on a tiny queue
+				s := b.Subscribe(1)
+				defer s.Close()
+				for i := 0; i < rounds; i++ {
+					_ = s.Dropped()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if st := b.Stats(); st.Published != 8*rounds {
+		t.Fatalf("published %d, want %d", st.Published, 8*rounds)
+	}
+}
+
 // TestBroadcastConcurrent hammers one broadcaster with concurrent
 // publishers, subscribers that keep up, and churning short-lived
 // subscribers, under -race. Keep-up subscribers must see every event

@@ -167,6 +167,12 @@ type maintGroup struct {
 // Feed snapshots in chronological order through Observe; each call
 // returns the events that became final at that snapshot, in a
 // deterministic order. Detector is not safe for concurrent use.
+//
+// A Detector must never be copied: its trackers and maps are one
+// causally ordered state machine, and a value copy forks that history
+// (wmlint's sharded analyzer enforces this).
+//
+//wm:nocopy
 type Detector struct {
 	id  wmap.MapID
 	cfg Config

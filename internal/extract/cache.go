@@ -23,7 +23,11 @@ import (
 // output because a hit additionally requires full geometry equality.
 //
 // An AttributionCache is not safe for concurrent use; the worker-pool path
-// creates one per worker.
+// creates one per worker. It must never be copied by value — the template
+// map is spliced in place on every hit, so a copy would alias mutable
+// state across owners (wmlint's sharded analyzer enforces this).
+//
+//wm:nocopy
 type AttributionCache struct {
 	opt Options
 

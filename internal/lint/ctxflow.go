@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces the request-cancellation discipline on request-scoped
+// code. A function is request-scoped when it takes a context.Context or
+// an *http.Request: the archive serves long scans (grids over years of
+// snapshots, SSE streams) and the only thing standing between a closed
+// connection and a goroutine pinned for the rest of the scan is that
+// every blocking point observes the context. Three shapes break that:
+//
+//   - context.Background()/context.TODO() inside a request-scoped
+//     function mints a context that never cancels — derive from the one
+//     already in hand (r.Context() in handlers);
+//   - time.Sleep cannot be interrupted — use a timer inside a select
+//     with ctx.Done();
+//   - a bare channel send/receive outside any select blocks forever if
+//     the peer is gone, and a select with neither a ctx.Done() case nor
+//     a default can do the same.
+//
+// Functions without a context in their signature are out of scope: they
+// are either synchronous leaf code or own their lifecycle (main loops,
+// background compaction), and the repo's convention is that anything
+// cancelable says so by taking a ctx.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "request-scoped functions must block only under their context: " +
+		"no context.Background, no time.Sleep, no select-free channel ops",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sig := funcSig(pass.TypesInfo, fn)
+			if sig == nil {
+				continue
+			}
+			if hasContextParam(sig) || hasRequestParam(sig) {
+				checkCtxFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkCtxFunc(pass *Pass, fn *ast.FuncDecl) {
+	// A channel operation is select-guarded only when it IS one of a
+	// select's comm statements; ops inside a case *body* are ordinary
+	// blocking points again. Collect the guarded nodes first.
+	guarded := map[ast.Node]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		if !selectObservesCtx(pass, sel) {
+			pass.Reportf(sel.Pos(),
+				"select in a request-scoped function has neither a ctx.Done() "+
+					"case nor a default; it can block past cancellation")
+		}
+		for _, c := range sel.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				guarded[cc.Comm] = true
+				if recv := commRecv(cc.Comm); recv != nil {
+					guarded[recv] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPkgFunc(pass.TypesInfo, n, "context", "Background", "TODO") {
+				pass.Reportf(n.Pos(),
+					"request-scoped function mints an uncancelable context; "+
+						"derive from the ctx/r.Context() already in scope")
+			}
+			if isPkgFunc(pass.TypesInfo, n, "time", "Sleep") {
+				pass.Reportf(n.Pos(),
+					"time.Sleep in a request-scoped function ignores cancellation; "+
+						"use a timer in a select with ctx.Done()")
+			}
+		case *ast.SendStmt:
+			if !guarded[n] {
+				pass.Reportf(n.Pos(),
+					"bare channel send in a request-scoped function can block "+
+						"forever; select on it with ctx.Done()")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !guarded[n] && chanElemBlocks(pass, n) {
+				pass.Reportf(n.Pos(),
+					"bare channel receive in a request-scoped function can block "+
+						"forever; select on it with ctx.Done()")
+			}
+		}
+		return true
+	})
+}
+
+// chanElemBlocks reports whether the receive operand is really a channel
+// (guards against unresolved types in broken fixtures).
+func chanElemBlocks(pass *Pass, u *ast.UnaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[u.X]
+	if !ok {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// selectObservesCtx reports whether the select has a default case or a
+// case receiving from a Done() call (context.Context's or a derived
+// signal's) or from a variable of the canonical <-chan struct{} shape.
+func selectObservesCtx(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default case: the select cannot block
+		}
+		recv := commRecv(cc.Comm)
+		if recv == nil {
+			continue
+		}
+		if call, ok := ast.Unparen(recv.X).(*ast.CallExpr); ok {
+			if s, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && s.Sel.Name == "Done" {
+				return true
+			}
+		}
+		if tv, ok := pass.TypesInfo.Types[recv.X]; ok && isDoneChanType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// commRecv extracts the receive expression of a select comm statement.
+func commRecv(s ast.Stmt) *ast.UnaryExpr {
+	var e ast.Expr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	default:
+		return nil
+	}
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u
+	}
+	return nil
+}
+
+// isDoneChanType matches <-chan struct{}, the shape of ctx.Done().
+func isDoneChanType(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() != types.RecvOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -1,0 +1,429 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolPair checks that every sync.Pool.Get has a matching Put on every
+// path out of the function. The repo's pools (the svg lexer and stream
+// buffers, tsdb's response-encoder buffers) sit on paths hot enough that
+// a leaked buffer is a real regression: the pool silently degrades to
+// malloc. The analyzer is flow-lite rather than a full CFG — tuned to the
+// shapes this codebase actually uses:
+//
+//   - a Get with no Put at all in the function is flagged, unless the
+//     pooled value is returned (ownership transfer: the getEncBuf /
+//     putEncBuf helper pattern);
+//   - an early return between the Get and the function's Put is flagged
+//     when no Put appears earlier in the return's own block chain and no
+//     Put is deferred — the classic missing-Put-on-error-path leak;
+//   - storing the pooled value into a struct field, map/slice element, or
+//     channel is flagged as an escape: pooled memory must not outlive the
+//     function that borrowed it.
+//
+// Same-package helper functions that wrap Get or Put (one level deep) are
+// recognized on both sides, so "bp := getEncBuf()" and "putEncBuf(bp)"
+// pair up exactly like direct pool calls.
+var PoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc: "check that sync.Pool.Get values are Put back on every path " +
+		"and never escape the borrowing function",
+	Run: runPoolPair,
+}
+
+// poolHelpers classifies same-package functions that wrap pool traffic.
+// A get helper binds a Pool.Get result and returns it (ownership flows
+// to the caller: getEncBuf); a put helper passes one of its own
+// parameters to Pool.Put (ownership flows in: putEncBuf). A function
+// that merely gets and puts internally is neither — it is a normal
+// borrower and gets the full pairing check.
+type poolHelpers struct {
+	get map[types.Object]bool
+	put map[types.Object]bool
+}
+
+func findPoolHelpers(pass *Pass) poolHelpers {
+	h := poolHelpers{get: map[types.Object]bool{}, put: map[types.Object]bool{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			params := map[types.Object]bool{}
+			if fn.Type.Params != nil {
+				for _, field := range fn.Type.Params.List {
+					for _, name := range field.Names {
+						if p := pass.TypesInfo.Defs[name]; p != nil {
+							params[p] = true
+						}
+					}
+				}
+			}
+			pooled := map[types.Object]bool{} // vars bound to a Get result
+			putsParam, returnsPooled, returnsGet := false, false, false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+						if call := getCallUnder(n.Rhs[0]); call != nil &&
+							isMethodCall(pass.TypesInfo, call, "sync", "Pool", "Get") {
+							if id, ok := n.Lhs[0].(*ast.Ident); ok {
+								if o := pass.TypesInfo.Defs[id]; o != nil {
+									pooled[o] = true
+								}
+							}
+						}
+					}
+				case *ast.CallExpr:
+					if isMethodCall(pass.TypesInfo, n, "sync", "Pool", "Put") && len(n.Args) == 1 {
+						if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok &&
+							params[pass.TypesInfo.Uses[id]] {
+							putsParam = true
+						}
+					}
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						if id, ok := ast.Unparen(res).(*ast.Ident); ok &&
+							pooled[pass.TypesInfo.Uses[id]] {
+							returnsPooled = true
+						}
+						if call := getCallUnder(res); call != nil &&
+							isMethodCall(pass.TypesInfo, call, "sync", "Pool", "Get") {
+							returnsGet = true
+						}
+					}
+				}
+				return true
+			})
+			if returnsPooled || returnsGet {
+				h.get[obj] = true
+			}
+			if putsParam {
+				h.put[obj] = true
+			}
+		}
+	}
+	return h
+}
+
+func runPoolPair(pass *Pass) error {
+	helpers := findPoolHelpers(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fn, helpers)
+		}
+	}
+	return nil
+}
+
+// poolUse records one Get inside a function: where it happened and which
+// local variable (if any) holds the pooled value.
+type poolUse struct {
+	call *ast.CallExpr
+	obj  types.Object // the variable bound to the Get result, or nil
+}
+
+func (p *Pass) isGetCall(call *ast.CallExpr, helpers poolHelpers) bool {
+	if isMethodCall(p.TypesInfo, call, "sync", "Pool", "Get") {
+		return true
+	}
+	return helpers.get[calleeObj(p.TypesInfo, call)]
+}
+
+func (p *Pass) isPutCall(call *ast.CallExpr, helpers poolHelpers) bool {
+	if isMethodCall(p.TypesInfo, call, "sync", "Pool", "Put") {
+		return true
+	}
+	return helpers.put[calleeObj(p.TypesInfo, call)]
+}
+
+func checkPoolFunc(pass *Pass, fn *ast.FuncDecl, helpers poolHelpers) {
+	// Put helpers are exempt from pairing: their whole job is to take the
+	// value back. Get helpers are NOT exempt — their happy path transfers
+	// ownership by returning the value, but any other return still leaks,
+	// so they go through the early-return check like everyone else.
+	if obj := pass.TypesInfo.Defs[fn.Name]; helpers.put[obj] {
+		return
+	}
+
+	var gets []poolUse
+	var puts []*ast.CallExpr
+	deferredPut := false
+	recorded := map[*ast.CallExpr]bool{} // Get calls already bound via an assignment
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if pass.isPutCall(n.Call, helpers) {
+				deferredPut = true
+				return false
+			}
+			// defer func() { ...Put... }()
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok && pass.isPutCall(c, helpers) {
+						deferredPut = true
+					}
+					return true
+				})
+				return false
+			}
+		case *ast.AssignStmt:
+			// b := pool.Get().(*T)   or   bp := getEncBuf()
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call := getCallUnder(n.Rhs[0]); call != nil && pass.isGetCall(call, helpers) {
+					var obj types.Object
+					if id, ok := n.Lhs[0].(*ast.Ident); ok {
+						obj = pass.TypesInfo.Defs[id]
+						if obj == nil {
+							obj = pass.TypesInfo.Uses[id]
+						}
+					}
+					gets = append(gets, poolUse{call: call, obj: obj})
+					recorded[call] = true
+					return true
+				}
+			}
+		case *ast.CallExpr:
+			if pass.isPutCall(n, helpers) {
+				puts = append(puts, n)
+			} else if pass.isGetCall(n, helpers) && !recorded[n] {
+				gets = append(gets, poolUse{call: n})
+			}
+		}
+		return true
+	})
+
+	if len(gets) == 0 {
+		return
+	}
+
+	returned := pooledValueReturned(pass, fn, gets)
+
+	if len(puts) == 0 && !deferredPut && !returned {
+		pass.Reportf(gets[0].call.Pos(),
+			"sync.Pool value obtained here is never returned to the pool "+
+				"(no Put or put-helper call in this function)")
+		return
+	}
+
+	checkPoolEscapes(pass, fn, gets)
+
+	if deferredPut {
+		return // a deferred Put covers every exit path
+	}
+	// Whether the function puts explicitly or transfers ownership by
+	// returning the value, every other return after the Get must either
+	// be preceded by a Put or return the pooled value itself.
+	checkEarlyReturns(pass, fn, gets, helpers)
+}
+
+// getCallUnder unwraps "pool.Get().(*T)" and parens down to the CallExpr.
+func getCallUnder(e ast.Expr) *ast.CallExpr {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.TypeAssertExpr:
+			e = v.X
+		case *ast.CallExpr:
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// pooledValueReturned reports whether any return statement returns one of
+// the pooled variables, or a Get call directly ("return pool.Get().(*T)")
+// — ownership transfer to the caller.
+func pooledValueReturned(pass *Pass, fn *ast.FuncDecl, gets []poolUse) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				obj := pass.TypesInfo.Uses[id]
+				for _, g := range gets {
+					if g.obj != nil && obj == g.obj {
+						found = true
+					}
+				}
+			}
+			if call := getCallUnder(res); call != nil {
+				for _, g := range gets {
+					if call == g.call {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkPoolEscapes flags stores of a pooled variable into places that
+// outlive the function: struct fields, indexed elements, channels.
+func checkPoolEscapes(pass *Pass, fn *ast.FuncDecl, gets []poolUse) {
+	pooled := map[types.Object]bool{}
+	for _, g := range gets {
+		if g.obj != nil {
+			pooled[g.obj] = true
+		}
+	}
+	if len(pooled) == 0 {
+		return
+	}
+	isPooled := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pooled[pass.TypesInfo.Uses[id]]
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !isPooled(rhs) {
+					continue
+				}
+				switch ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					pass.Reportf(rhs.Pos(),
+						"pooled value escapes the borrowing function via this store; "+
+							"pooled memory must not outlive the function that got it")
+				}
+			}
+		case *ast.SendStmt:
+			if isPooled(n.Value) {
+				pass.Reportf(n.Value.Pos(),
+					"pooled value escapes the borrowing function via this channel send; "+
+						"pooled memory must not outlive the function that got it")
+			}
+		}
+		return true
+	})
+}
+
+// checkEarlyReturns walks every return statement positioned after the
+// first Get and verifies a Put (or a return of the pooled value itself)
+// appears among the statements that dominate it lexically: the preceding
+// statements of its own block and of each enclosing block. This matches
+// the codebase's put-before-early-return idiom and flags the
+// missing-Put-on-error-path shape.
+func checkEarlyReturns(pass *Pass, fn *ast.FuncDecl, gets []poolUse, helpers poolHelpers) {
+	firstGet := gets[0].call.Pos()
+	pooled := map[types.Object]bool{}
+	for _, g := range gets {
+		if g.obj != nil {
+			pooled[g.obj] = true
+		}
+	}
+
+	stmtHasPut := func(s ast.Stmt) bool {
+		has := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // a Put inside a nested closure doesn't run here
+			}
+			if c, ok := n.(*ast.CallExpr); ok && pass.isPutCall(c, helpers) {
+				has = true
+			}
+			return true
+		})
+		return has
+	}
+
+	returnsPooled := func(ret *ast.ReturnStmt) bool {
+		for _, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && pooled[pass.TypesInfo.Uses[id]] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// blockPath collects, for a node, the chain of enclosing block
+	// statement lists with the index of the child that leads to it.
+	var walk func(stmts []ast.Stmt, covered bool)
+	checkReturn := func(ret *ast.ReturnStmt, covered bool) {
+		if ret.Pos() <= firstGet || covered || returnsPooled(ret) {
+			return
+		}
+		pass.Reportf(ret.Pos(),
+			"return leaks the sync.Pool value obtained at this function's Get: "+
+				"no Put on this path (consider defer)")
+	}
+	walk = func(stmts []ast.Stmt, covered bool) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.ReturnStmt:
+				checkReturn(s, covered)
+			case *ast.IfStmt:
+				walk(s.Body.List, covered)
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					walk(e.List, covered)
+				case *ast.IfStmt:
+					walk([]ast.Stmt{e}, covered)
+				}
+			case *ast.ForStmt:
+				walk(s.Body.List, covered)
+			case *ast.RangeStmt:
+				walk(s.Body.List, covered)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					walk(c.(*ast.CaseClause).Body, covered)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					walk(c.(*ast.CaseClause).Body, covered)
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					walk(c.(*ast.CommClause).Body, covered)
+				}
+			case *ast.BlockStmt:
+				walk(s.List, covered)
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{s.Stmt}, covered)
+			}
+			// A Put executed at this level covers everything after it in
+			// this block — including returns inside later nested blocks.
+			if stmtHasPutShallow(pass, s, helpers, stmtHasPut) {
+				covered = true
+			}
+		}
+	}
+	walk(fn.Body.List, false)
+}
+
+// stmtHasPutShallow reports whether s itself performs a Put
+// unconditionally at this block level: a bare Put call statement or an
+// assignment wrapping one. Puts buried under conditionals don't count —
+// they cover only their own branch, which walk handles by recursing with
+// covered=true past the call.
+func stmtHasPutShallow(pass *Pass, s ast.Stmt, helpers poolHelpers, deep func(ast.Stmt) bool) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if c, ok := s.X.(*ast.CallExpr); ok && pass.isPutCall(c, helpers) {
+			return true
+		}
+		// A call to a function that puts on our behalf is already covered
+		// by the helper classification inside isPutCall.
+		return false
+	case *ast.AssignStmt, *ast.DeferStmt:
+		return deep(s)
+	}
+	return false
+}

@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Sharded enforces the shard-state contract on types annotated
+// "//wm:sharded" (lock-guarded shard structs: the block cache's
+// cacheShard, the event Broadcaster) and "//wm:nocopy" (single-owner
+// state like the event Detector that must never be duplicated):
+//
+// No-copy (both pragmas): the struct must not be copied by value — value
+// receivers, by-value assignment or call arguments, range-value copies
+// and by-value returns are all flagged. A copy forks counters and maps
+// that the original keeps mutating (and for lock-bearing structs copies
+// the mutex, which go vet's copylocks also hates, but the shard structs
+// keep their mutable maps next to the lock and a copy is wrong even
+// where no mutex moves). Composite literals are construction, not
+// copying, and pass.
+//
+// Lock discipline (//wm:sharded only): a function that touches a guarded
+// field — any field that is not the mutex itself and not a sync/atomic
+// type — must lock a mutex field of that same type somewhere in its
+// body. Exempt: functions annotated "//wm:locked", functions whose name
+// ends in "Locked" (the codebase's caller-holds-the-lock convention),
+// and constructors, recognized as functions that build the state they
+// touch (they contain a composite literal of the annotated type or of a
+// type embedding it) — initialization before publication needs no lock.
+var Sharded = &Analyzer{
+	Name: "sharded",
+	Doc: "shard/detector state must not be copied by value nor accessed " +
+		"outside its shard lock",
+	Run: runSharded,
+}
+
+const (
+	shardedPragma = "wm:sharded"
+	nocopyPragma  = "wm:nocopy"
+	lockedPragma  = "wm:locked"
+)
+
+type shardedType struct {
+	named  *types.Named
+	locked bool // wm:sharded (lock discipline) vs wm:nocopy (copy only)
+}
+
+func runSharded(pass *Pass) error {
+	var marked []shardedType
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				isSharded := typeSpecPragma(gd, ts, shardedPragma)
+				isNocopy := typeSpecPragma(gd, ts, nocopyPragma)
+				if !isSharded && !isNocopy {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				if named, ok := obj.Type().(*types.Named); ok {
+					marked = append(marked, shardedType{named: named, locked: isSharded})
+				}
+			}
+		}
+	}
+	if len(marked) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkShardCopies(pass, fn, marked)
+			for _, st := range marked {
+				if st.locked {
+					checkShardLocking(pass, fn, st.named)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isMarkedValue reports whether t is exactly one of the marked named
+// struct types, by value (pointers are fine — that's the point).
+func isMarkedValue(marked []shardedType, t types.Type) (shardedType, bool) {
+	t = types.Unalias(t)
+	for _, st := range marked {
+		if types.Identical(t, st.named) {
+			return st, true
+		}
+	}
+	return shardedType{}, false
+}
+
+func checkShardCopies(pass *Pass, fn *ast.FuncDecl, marked []shardedType) {
+	// Value receiver on a method of the marked type.
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		if tv, ok := pass.TypesInfo.Types[fn.Recv.List[0].Type]; ok {
+			if st, hit := isMarkedValue(marked, tv.Type); hit {
+				pass.Reportf(fn.Recv.List[0].Type.Pos(),
+					"method %s copies %s by value receiver; the state must only "+
+						"be used through a pointer", fn.Name.Name, st.named.Obj().Name())
+			}
+		}
+	}
+
+	exprCopies := func(e ast.Expr) (shardedType, bool) {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok {
+			return shardedType{}, false
+		}
+		st, hit := isMarkedValue(marked, tv.Type)
+		if !hit {
+			return shardedType{}, false
+		}
+		switch ast.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			return shardedType{}, false // construction, not a copy
+		}
+		return st, true
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				// "_ = s" discards the value; nothing is duplicated.
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				if st, hit := exprCopies(rhs); hit {
+					pass.Reportf(rhs.Pos(),
+						"%s copied by value in assignment; use a pointer to the shard",
+						st.named.Obj().Name())
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if st, hit := exprCopies(arg); hit {
+					pass.Reportf(arg.Pos(),
+						"%s passed by value; pass a pointer to the shard",
+						st.named.Obj().Name())
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if st, hit := exprCopies(res); hit {
+					pass.Reportf(res.Pos(),
+						"%s returned by value; return a pointer to the shard",
+						st.named.Obj().Name())
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				// The range value is usually a freshly defined ident, which
+				// lives in Defs, not Types.
+				var vt types.Type
+				if id, ok := n.Value.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						vt = obj.Type()
+					}
+				} else if tv, ok := pass.TypesInfo.Types[n.Value]; ok {
+					vt = tv.Type
+				}
+				if vt != nil {
+					if st, hit := isMarkedValue(marked, vt); hit {
+						pass.Reportf(n.Value.Pos(),
+							"range copies %s by value; range over indices and take "+
+								"&s[i] instead", st.named.Obj().Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexFields returns the names of the named struct's sync.Mutex/RWMutex
+// fields.
+func mutexFields(named *types.Named) map[string]bool {
+	out := map[string]bool{}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return out
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isNamed(f.Type(), "sync", "Mutex") || isNamed(f.Type(), "sync", "RWMutex") {
+			out[f.Name()] = true
+		}
+	}
+	return out
+}
+
+// isAtomicType reports whether t is a sync/atomic value type, which needs
+// no lock.
+func isAtomicType(t types.Type) bool {
+	n := namedType(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+func checkShardLocking(pass *Pass, fn *ast.FuncDecl, named *types.Named) {
+	if funcHasPragma(fn, lockedPragma) || hasLockedSuffix(fn.Name.Name) {
+		return
+	}
+	mutexes := mutexFields(named)
+	if len(mutexes) == 0 {
+		return // nothing to lock with; the copy rules still apply
+	}
+
+	var guardedAccesses []ast.Node
+	locksOwn := false
+	constructs := false
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok && typeEmbeds(tv.Type, named) {
+				constructs = true
+			}
+		case *ast.CallExpr:
+			// s.mu.Lock() / s.mu.RLock() on a mutex field of this type.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+				if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && mutexes[inner.Sel.Name] {
+					if tv, ok := pass.TypesInfo.Types[inner.X]; ok && isNamedOrPtr(tv.Type, named) {
+						locksOwn = true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			if !isNamedOrPtr(sel.Recv(), named) {
+				return true
+			}
+			if mutexes[n.Sel.Name] || isAtomicType(sel.Obj().Type()) {
+				return true
+			}
+			guardedAccesses = append(guardedAccesses, n)
+		}
+		return true
+	})
+
+	if len(guardedAccesses) == 0 || locksOwn || constructs {
+		return
+	}
+	pass.Reportf(guardedAccesses[0].Pos(),
+		"guarded field of //wm:sharded type %s accessed without locking its "+
+			"mutex in this function; lock it, or annotate the function "+
+			"//wm:locked (or name it ...Locked) if the caller holds the lock",
+		named.Obj().Name())
+}
+
+func hasLockedSuffix(name string) bool {
+	const suf = "Locked"
+	return len(name) >= len(suf) && name[len(name)-len(suf):] == suf
+}
+
+// isNamedOrPtr reports whether t is the named type or a pointer to it.
+func isNamedOrPtr(t types.Type, named *types.Named) bool {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	return types.Identical(t, named)
+}
+
+// typeEmbeds reports whether t is the named type itself or a struct /
+// array / pointer shape that contains it — the constructor-recognition
+// probe.
+func typeEmbeds(t types.Type, named *types.Named) bool {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type) bool
+	walk = func(t types.Type) bool {
+		t = types.Unalias(t)
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		if types.Identical(t, named) {
+			return true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		case *types.Pointer:
+			return walk(u.Elem())
+		case *types.Slice:
+			return walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}

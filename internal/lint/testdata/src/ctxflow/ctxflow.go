@@ -1,0 +1,94 @@
+// Fixture for wmlint/ctxflow.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func mintBackground(ctx context.Context) context.Context {
+	return context.Background() // want "uncancelable context"
+}
+
+func mintTODO(ctx context.Context) context.Context {
+	return context.TODO() // want "uncancelable context"
+}
+
+func handlerBackground(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "uncancelable context"
+	_ = ctx
+}
+
+func sleepy(ctx context.Context) {
+	time.Sleep(time.Second) // want "time.Sleep"
+}
+
+func bareSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want "bare channel send"
+}
+
+func bareRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want "bare channel receive"
+}
+
+func blindSelect(ctx context.Context, a, b chan int) int {
+	select { // want "neither a ctx.Done"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// caseBodyOps: channel operations inside a case BODY are ordinary
+// blocking points again, even though the select itself observes ctx.
+func caseBodyOps(ctx context.Context, a, b chan int) {
+	select {
+	case v := <-a:
+		b <- v // want "bare channel send"
+	case <-ctx.Done():
+	}
+}
+
+// --- false-positive guards ---------------------------------------------
+
+// guardedSend selects with a Done case.
+func guardedSend(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// nonBlockingSend has a default case: it cannot block.
+func nonBlockingSend(ctx context.Context, ch chan int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// doneVarSelect receives from a ctx.Done() channel held in a variable.
+func doneVarSelect(ctx context.Context, ch chan int) {
+	done := ctx.Done()
+	select {
+	case <-ch:
+	case <-done:
+	}
+}
+
+// notRequestScoped has no ctx or request in its signature: it owns its
+// lifecycle, so channel discipline is its own business.
+func notRequestScoped(ch chan int) int {
+	ch <- 1
+	time.Sleep(time.Millisecond)
+	return <-ch
+}
+
+// derivedContext builds on the caller's ctx — that is the point.
+func derivedContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second)
+}

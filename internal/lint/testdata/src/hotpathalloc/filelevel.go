@@ -1,0 +1,16 @@
+// A file-header pragma marks every function in the file hot, the way
+// tsdb's jsonenc.go is annotated.
+//
+//wm:hotpath
+
+package hotpathalloc
+
+import "fmt"
+
+func fileLevelHot(n int) string {
+	return fmt.Sprintf("%d", n) // want "calls fmt.Sprintf"
+}
+
+func fileLevelHotToo(v int) string {
+	return fmt.Sprint(v) // want "calls fmt.Sprint"
+}

@@ -1,0 +1,85 @@
+// Fixture for wmlint/hotpathalloc.
+package hotpathalloc
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+//wm:hotpath
+func hotSprintf(n int) string {
+	return fmt.Sprintf("%d", n) // want "calls fmt.Sprintf"
+}
+
+//wm:hotpath
+func hotJSON(v any) ([]byte, error) {
+	return json.Marshal(v) // want "uses encoding/json"
+}
+
+//wm:hotpath
+func hotNow() int64 {
+	return time.Now().Unix() // want "calls time.Now"
+}
+
+// hotClosureAppend appends to a captured slice from inside a closure,
+// forcing the header to escape.
+//
+//wm:hotpath
+func hotClosureAppend(emit func(func(int))) []int {
+	var out []int
+	emit(func(v int) {
+		out = append(out, v) // want "captured by this closure"
+	})
+	return out
+}
+
+// hotNested: pragmas apply through nested closures too.
+//
+//wm:hotpath
+func hotNested() func() string {
+	return func() string {
+		return fmt.Sprint("x") // want "calls fmt.Sprint"
+	}
+}
+
+// --- false-positive guards ---------------------------------------------
+
+// coldSprintf has no pragma: fmt is fine off the hot path.
+func coldSprintf(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// hotStrconv uses the allocation-conscious alternatives the rule steers
+// toward; none of them are flagged.
+//
+//wm:hotpath
+func hotStrconv(b []byte, n int, t time.Time) []byte {
+	b = strconv.AppendInt(b, int64(n), 10)
+	return t.AppendFormat(b, time.RFC3339) // methods on time.Time are fine
+}
+
+// hotLocalAppend appends to the closure's own local — no capture, no
+// escape, no finding.
+//
+//wm:hotpath
+func hotLocalAppend(emit func(func(int))) {
+	emit(func(v int) {
+		var local []int
+		local = append(local, v)
+		_ = local
+	})
+}
+
+// hotSuppressed demonstrates the suppression contract for a genuinely
+// cold branch inside a hot function.
+//
+//wm:hotpath
+func hotSuppressed(n int) string {
+	if n < 0 {
+		//lint:ignore wmlint/hotpathalloc cold can't-happen branch, kept for debugging
+		return fmt.Sprintf("negative %d", n)
+	}
+	return strconv.Itoa(n)
+}

@@ -1,0 +1,132 @@
+// Fixture for wmlint/poolpair: flagged cases carry want comments; the
+// rest are false-positive guards that must stay silent.
+package poolpair
+
+import (
+	"errors"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+type sink struct{ held *[]byte }
+
+var global sink
+
+func use(b *[]byte) error { return nil }
+
+// getBuf is a get helper: it returns the pooled value, so ownership
+// moves to its caller and the helper itself is exempt.
+func getBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// putBuf is a put helper: it receives the pooled value as a parameter.
+func putBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// missingPut never returns the buffer to the pool.
+func missingPut() int {
+	b := bufPool.Get().(*[]byte) // want "never returned to the pool"
+	return len(*b)
+}
+
+// missingPutViaHelper leaks a helper-obtained buffer the same way.
+func missingPutViaHelper() int {
+	b := getBuf() // want "never returned to the pool"
+	return len(*b)
+}
+
+// earlyReturnLeak puts on the happy path but leaks on the error path —
+// the exact bug class the analyzer exists for.
+func earlyReturnLeak() error {
+	b := bufPool.Get().(*[]byte)
+	if err := use(b); err != nil {
+		return err // want "return leaks the sync.Pool value"
+	}
+	bufPool.Put(b)
+	return nil
+}
+
+// escapeToField parks the pooled buffer in a long-lived struct.
+func escapeToField() {
+	b := bufPool.Get().(*[]byte)
+	global.held = b // want "escapes the borrowing function"
+	bufPool.Put(b)
+}
+
+// escapeToChannel hands the pooled buffer to another goroutine.
+func escapeToChannel(ch chan *[]byte) {
+	b := bufPool.Get().(*[]byte)
+	ch <- b // want "escapes the borrowing function via this channel send"
+	bufPool.Put(b)
+}
+
+// --- false-positive guards ---------------------------------------------
+
+// deferPut covers every path with a deferred Put, early returns included.
+func deferPut() error {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	if err := use(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// deferClosurePut puts inside a deferred closure.
+func deferClosurePut() error {
+	b := bufPool.Get().(*[]byte)
+	defer func() {
+		*b = (*b)[:0]
+		bufPool.Put(b)
+	}()
+	return use(b)
+}
+
+// putBeforeReturn puts explicitly on each path.
+func putBeforeReturn() error {
+	b := bufPool.Get().(*[]byte)
+	if err := use(b); err != nil {
+		bufPool.Put(b)
+		return err
+	}
+	bufPool.Put(b)
+	return nil
+}
+
+// putViaHelper returns the buffer through the put helper, deferred.
+func putViaHelper() error {
+	b := getBuf()
+	defer putBuf(b)
+	return use(b)
+}
+
+// putViaHelperEarlyReturn pairs helper get/put without defer.
+func putViaHelperEarlyReturn() error {
+	b := getBuf()
+	if err := use(b); err != nil {
+		putBuf(b)
+		return err
+	}
+	putBuf(b)
+	return nil
+}
+
+// transferOwnership returns the pooled value itself: the caller now owns
+// it, so no Put is required here.
+func transferOwnership() (*[]byte, error) {
+	b := bufPool.Get().(*[]byte)
+	if len(*b) > 0 {
+		return nil, errors.New("dirty") // want "return leaks the sync.Pool value"
+	}
+	return b, nil
+}
+
+// noPool never touches a pool; nothing to report.
+func noPool() error {
+	b := make([]byte, 8)
+	return use(&b)
+}

@@ -1,0 +1,118 @@
+// Fixture for wmlint/sharded.
+package sharded
+
+import "sync"
+
+// shard mirrors tsdb's cacheShard: mu guards everything below it.
+//
+//wm:sharded
+type shard struct {
+	mu    sync.Mutex
+	byKey map[string]int
+	bytes int64
+}
+
+// table holds the shards; it is not itself annotated.
+type table struct {
+	shards [4]shard
+}
+
+// get locks the shard before touching guarded fields.
+func (t *table) get(i int, k string) (int, bool) {
+	s := &t.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.byKey[k]
+	return v, ok
+}
+
+// unlockedTouch reads a guarded field with no lock in sight.
+func (t *table) unlockedTouch(i int) int64 {
+	s := &t.shards[i]
+	return s.bytes // want "accessed without locking"
+}
+
+// insertLocked is the caller-holds-the-lock convention, by name.
+func (t *table) insertLocked(s *shard, k string, v int) {
+	s.byKey[k] = v
+	s.bytes++
+}
+
+// drain holds the lock by contract, stated with the pragma.
+//
+//wm:locked
+func drain(s *shard) {
+	for k := range s.byKey {
+		delete(s.byKey, k)
+	}
+	s.bytes = 0
+}
+
+// newTable constructs the state it initializes: no lock needed before
+// publication.
+func newTable() *table {
+	t := &table{}
+	for i := range t.shards {
+		t.shards[i].byKey = make(map[string]int)
+	}
+	return t
+}
+
+// --- copy rules ---------------------------------------------------------
+
+// valueReceiver copies the whole shard, mutex and maps included.
+func (s shard) valueReceiver() int { // want "value receiver"
+	return 0
+}
+
+func copies(t *table) {
+	s := t.shards[0] // want "copied by value"
+	_ = s
+	p := &t.shards[1] // pointer: fine
+	use(*p)           // want "passed by value"
+	_ = p
+}
+
+func rangeCopy(t *table) int64 {
+	var total int64
+	for _, s := range t.shards { // want "range copies"
+		total += s.bytes
+	}
+	for i := range t.shards { // index range: fine
+		p := &t.shards[i]
+		p.mu.Lock()
+		total += p.bytes
+		p.mu.Unlock()
+	}
+	return total
+}
+
+func returnCopy(t *table) shard {
+	return t.shards[2] // want "returned by value"
+}
+
+func use(s shard) {} // the parameter type itself is legal; call sites are not
+
+// construction is not copying: composite literals pass.
+func construct() *shard {
+	return &shard{byKey: make(map[string]int)}
+}
+
+// --- nocopy-only types ---------------------------------------------------
+
+// tracker mirrors the event Detector: single-owner state, no mutex, so
+// only the copy rules apply — field access needs no lock.
+//
+//wm:nocopy
+type tracker struct {
+	seen map[string]int
+}
+
+func (tr *tracker) observe(k string) {
+	tr.seen[k]++ // no lock required for nocopy-only types
+}
+
+func copyTracker(tr *tracker) {
+	snapshot := *tr // want "copied by value"
+	_ = snapshot
+}

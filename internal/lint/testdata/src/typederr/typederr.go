@@ -1,0 +1,56 @@
+// Fixture for wmlint/typederr: this package declares CorruptError, so
+// corruption-flavored untyped errors are contract violations.
+package typederr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CorruptError mirrors tsdb's typed corruption error.
+type CorruptError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string { return e.Reason }
+
+func decodeHeader(magic uint32) error {
+	if magic != 0x57454154 {
+		return errors.New("bad magic in header") // want "untyped"
+	}
+	return nil
+}
+
+func decodeBlock(n, want int) error {
+	if n < want {
+		return fmt.Errorf("truncated block: %d of %d bytes", n, want) // want "untyped"
+	}
+	return nil
+}
+
+func checkSum(got, want uint32) error {
+	if got != want {
+		return fmt.Errorf("checksum mismatch: %08x != %08x", got, want) // want "untyped"
+	}
+	return nil
+}
+
+// --- false-positive guards ---------------------------------------------
+
+// typedCorruption is the contract-conforming shape.
+func typedCorruption(off int64) error {
+	return &CorruptError{Offset: off, Reason: "bad magic"}
+}
+
+// wrapped preserves the typed error for errors.As, so %w passes even
+// with a corruption keyword in the message.
+func wrapped(off int64) error {
+	return fmt.Errorf("reading corrupt region: %w", typedCorruption(off))
+}
+
+// notCorruption is an ordinary domain error; keywords decide, and none
+// appear here.
+func notCorruption() error {
+	return errors.New("no snapshot at or before requested time")
+}

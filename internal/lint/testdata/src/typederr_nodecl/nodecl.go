@@ -1,0 +1,10 @@
+// Fixture for wmlint/typederr's scoping: this package declares no
+// CorruptError, so the corruption-keyword rule does not apply at all —
+// svg's ReadError taxonomy, say, legitimately wraps fmt.Errorf.
+package typederr_nodecl
+
+import "errors"
+
+func parse() error {
+	return errors.New("truncated document") // no finding: contract is tsdb-local
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// TypedErr enforces the tsdb corruption-error contract: any package that
+// declares a CorruptError type has promised (DESIGN.md §8) that
+// structural damage — bad magic, failed checksums, truncated sections,
+// impossible field values — surfaces as *CorruptError so callers can
+// degrade with errors.As instead of string-matching. An errors.New or
+// fmt.Errorf whose message talks about corruption is that promise broken:
+// the error reads right but errors.As comes back false and the planner's
+// degradation path never fires.
+//
+// The analyzer flags errors.New/fmt.Errorf calls whose constant message
+// mentions a corruption keyword (corrupt, truncated, checksum, magic,
+// malformed, garbled), in packages that define CorruptError. Wrapping is
+// fine: a format string containing %w preserves the typed error for
+// errors.As, so those calls pass.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc: "corruption on tsdb read/decode paths must be a *CorruptError, " +
+		"never a bare errors.New or fmt.Errorf",
+	Run: runTypedErr,
+}
+
+var corruptionWords = regexp.MustCompile(`(?i)corrupt|truncat|checksum|magic|malformed|garbled`)
+
+func runTypedErr(pass *Pass) error {
+	if pass.Pkg.Scope().Lookup("CorruptError") == nil {
+		return nil // contract applies only where the type exists
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var msgArg ast.Expr
+			switch {
+			case isPkgFunc(pass.TypesInfo, call, "errors", "New") && len(call.Args) == 1:
+				msgArg = call.Args[0]
+			case isPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") && len(call.Args) >= 1:
+				msgArg = call.Args[0]
+			default:
+				return true
+			}
+			msg, ok := constString(pass.TypesInfo, msgArg)
+			if !ok || !corruptionWords.MatchString(msg) {
+				return true
+			}
+			if strings.Contains(msg, "%w") {
+				return true // wrapping preserves the typed error underneath
+			}
+			pass.Reportf(call.Pos(),
+				"corruption error %q is untyped; return a *CorruptError so "+
+					"errors.As-based degradation works", clip(msg, 40))
+			return true
+		})
+	}
+	return nil
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file implements the cmd/go vettool ("unitchecker") protocol with
+// the standard library only. go vet invokes the tool once per package
+// with a single JSON config argument describing the files to analyze and
+// where every import's compiler export data lives; the tool type-checks
+// from those, runs its analyzers, prints findings to stderr, writes its
+// facts file, and exits 1 when it found something. Dependencies are
+// visited with VetxOnly=true — facts only, no diagnostics — which this
+// suite (factless by design: every analyzer is single-package) answers
+// with an empty facts file, so stdlib and dependency packages are never
+// re-analyzed for findings, exactly like x/tools' unitchecker.
+
+// vetConfig mirrors the JSON cmd/go writes for vet tools (the subset the
+// suite needs; unknown fields are ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// UnitcheckerMain runs the suite under the vet protocol and exits.
+func UnitcheckerMain(cfgFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("reading vet config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing vet config %s: %v", cfgFile, err)
+	}
+
+	// The facts file must exist for cmd/go to cache the action, even
+	// though this suite records no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("wmlint.factless\n"), 0o666); err != nil {
+			fatalf("writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	pkg, err := typeCheckVetConfig(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fatalf("%v", err)
+	}
+
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, FormatDiagnostic(pkg.Fset, d))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// typeCheckVetConfig type-checks the config's package from source, with
+// imports satisfied by the export data files cmd/go listed.
+func typeCheckVetConfig(cfg *vetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	return typeCheck(fset, cfg.ImportPath, files, imp, cfg.GoVersion)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wmlint: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// PrintVersion implements the -V=full probe cmd/go uses to fingerprint
+// vet tools for build caching: the reported line must change whenever
+// the tool's behavior might, so it embeds a hash of the executable.
+func PrintVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+}

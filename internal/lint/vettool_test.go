@@ -1,0 +1,142 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildWmlint compiles cmd/wmlint into dir and returns the binary path.
+func buildWmlint(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "wmlint")
+	cmd := exec.Command("go", "build", "-o", bin, "ovhweather/cmd/wmlint")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building wmlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeModule(t *testing.T, dir, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"),
+		[]byte("module wmlintvet\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runVet(t *testing.T, dir, bin string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("go vet: %v\n%s", err, out)
+	return "", 0
+}
+
+// TestVettoolProtocol drives the real cmd/go vettool ("unitchecker")
+// protocol end to end: -V=full and -flags probes, per-package .cfg
+// invocations over the dependency graph, facts files, and the exit-code
+// contract. This is the regression test for the hand-rolled protocol in
+// unitchecker.go — if cmd/go changes shape, this fails first.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := buildWmlint(t, t.TempDir())
+
+	t.Run("flags finding", func(t *testing.T) {
+		dir := t.TempDir()
+		writeModule(t, dir, `package main
+
+import (
+	"context"
+	"fmt"
+)
+
+func handler(ctx context.Context) {
+	_ = context.Background()
+	fmt.Println("x")
+}
+
+func main() {}
+`)
+		out, code := runVet(t, dir, bin)
+		if code == 0 {
+			t.Fatalf("go vet exited 0; want failure\n%s", out)
+		}
+		if !strings.Contains(out, "wmlint/ctxflow") {
+			t.Errorf("output does not name the analyzer:\n%s", out)
+		}
+		if !strings.Contains(out, "uncancelable context") {
+			t.Errorf("output missing the diagnostic message:\n%s", out)
+		}
+	})
+
+	t.Run("clean package passes", func(t *testing.T) {
+		dir := t.TempDir()
+		writeModule(t, dir, `package main
+
+import (
+	"context"
+	"fmt"
+)
+
+func handler(ctx context.Context) {
+	fmt.Println(ctx.Err())
+}
+
+func main() {}
+`)
+		out, code := runVet(t, dir, bin)
+		if code != 0 {
+			t.Fatalf("go vet exited %d on clean code:\n%s", code, out)
+		}
+	})
+
+	t.Run("suppression honored under vet", func(t *testing.T) {
+		dir := t.TempDir()
+		writeModule(t, dir, `package main
+
+import "context"
+
+func handler(ctx context.Context, ch chan int) {
+	//lint:ignore wmlint/ctxflow capacity-1 channel owned by this call
+	ch <- 1
+}
+
+func main() {}
+`)
+		out, code := runVet(t, dir, bin)
+		if code != 0 {
+			t.Fatalf("go vet exited %d despite lint:ignore:\n%s", code, out)
+		}
+	})
+}
+
+// TestTreeIsClean runs the whole suite over the real module, exactly like
+// CI's wmlint step. It is the regression test for every finding fixed or
+// suppressed on the tree: if an annotation is deleted or a new violation
+// lands, this test names it.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	bin := buildWmlint(t, t.TempDir())
+	cmd := exec.Command(bin, "ovhweather/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Errorf("wmlint found violations on the tree:\n%s", out)
+	}
+}

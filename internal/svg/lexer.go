@@ -44,6 +44,8 @@ var UseStdDecoder bool
 // pre-scan is what makes the fast path correct by construction — anything
 // outside the subset is decided before the first element is emitted, so the
 // std fallback never observes a half-lexed document.
+//
+//wm:hotpath
 func fastEligible(data []byte) bool {
 	for i := 0; i < len(data); i++ {
 		b := data[i]
@@ -59,6 +61,8 @@ func fastEligible(data []byte) bool {
 
 // StreamBytes is Stream for an in-memory document: the fast path when the
 // document is eligible, the std decoder otherwise.
+//
+//wm:hotpath
 func StreamBytes(data []byte, fn func(Element) error) error {
 	if UseStdDecoder || !fastEligible(data) {
 		return StreamStd(bytes.NewReader(data), fn)
@@ -158,6 +162,7 @@ func (l *lexer) release() {
 	clear(attrs)
 }
 
+//wm:hotpath
 func (l *lexer) run(data []byte, fn func(Element) error) error {
 	l.data = data
 	l.pos = 0
@@ -234,6 +239,8 @@ var errNoName error = errNoNameT{}
 // plus the local part after the prefix split. Like encoding/xml's nsname, a
 // name with more than one colon is rejected, and "a:"/":a" keep the whole
 // string as the local part.
+//
+//wm:hotpath
 func (l *lexer) lexNsName() (raw, local []byte, err error) {
 	start := l.pos
 	if l.pos >= len(l.data) {
@@ -269,6 +276,7 @@ func (l *lexer) lexNsName() (raw, local []byte, err error) {
 	return raw, local, nil
 }
 
+//wm:hotpath
 func (l *lexer) space() {
 	for l.pos < len(l.data) {
 		switch l.data[l.pos] {
@@ -304,6 +312,7 @@ func tagOf(local []byte) Tag {
 	return ""
 }
 
+//wm:hotpath
 func (l *lexer) startTag(fn func(Element) error) error {
 	raw, local, err := l.lexNsName()
 	if err == errNoName {
@@ -420,6 +429,7 @@ func (l *lexer) startTag(fn func(Element) error) error {
 	return nil
 }
 
+//wm:hotpath
 func (l *lexer) endTag(fn func(Element) error) error {
 	raw, local, err := l.lexNsName()
 	if err == errNoName {
@@ -515,6 +525,8 @@ func procInstVal(s, param []byte) []byte {
 
 // textRun consumes one character-data run (up to the next '<' or EOF),
 // validating it like the std decoder even when no element wants the text.
+//
+//wm:hotpath
 func (l *lexer) textRun() error {
 	l.buf = l.buf[:0]
 	out, _, err := l.resolveText(-1)
@@ -533,6 +545,8 @@ func (l *lexer) textRun() error {
 // of the document or a slice of l.buf, valid until l.buf is next reset.
 // Entity substitution, \r rewriting, "]]>"/unescaped-< rejection and
 // character-range validation replicate encoding/xml's text().
+//
+//wm:hotpath
 func (l *lexer) resolveText(quote int) (out []byte, nonASCII bool, err error) {
 	// Fast scan: a run without '&', '\r' or ']' needs no rewriting, so the
 	// document bytes are returned directly.
@@ -567,6 +581,7 @@ func (l *lexer) resolveText(quote int) (out []byte, nonASCII bool, err error) {
 	return out, false, nil
 }
 
+//wm:hotpath
 func (l *lexer) resolveTextSlow(quote int) (out []byte, nonASCII bool, err error) {
 	start := len(l.buf)
 	var b0, b1 byte
@@ -623,6 +638,8 @@ func (l *lexer) resolveTextSlow(quote int) (out []byte, nonASCII bool, err error
 // at '&') and appends its substitution to l.buf. Only the five predefined
 // entities and numeric references resolve; everything else is a syntax
 // error, as in Strict mode with no Entity map.
+//
+//wm:hotpath
 func (l *lexer) resolveEntity() (nonASCII bool, err error) {
 	l.pos++ // past '&'
 	if l.pos >= len(l.data) {
@@ -746,6 +763,7 @@ func isInXMLCharRange(r rune) bool {
 // Reader-level element assembly — the same state machine Stream has always
 // run on top of the std decoder.
 
+//wm:hotpath
 func (l *lexer) setPending(e Element) {
 	if e.Class == "" {
 		e.Class = l.inheritedClass()
@@ -755,6 +773,7 @@ func (l *lexer) setPending(e Element) {
 	l.textBuf = l.textBuf[:0]
 }
 
+//wm:hotpath
 func (l *lexer) maybeEmit(kind Tag, fn func(Element) error) error {
 	if !l.hasPending || kind == "" || l.pending.Tag != kind {
 		return nil
@@ -766,6 +785,7 @@ func (l *lexer) maybeEmit(kind Tag, fn func(Element) error) error {
 	return fn(l.pending)
 }
 
+//wm:hotpath
 func (l *lexer) inheritedClass() string {
 	for i := len(l.frames) - 1; i >= 0; i-- {
 		if l.frames[i].class != "" {
@@ -777,6 +797,8 @@ func (l *lexer) inheritedClass() string {
 
 // attrRaw returns the resolved value of the named attribute, last occurrence
 // winning like the reader's attribute map.
+//
+//wm:hotpath
 func (l *lexer) attrRaw(name string) (val []byte, nonASCII, ok bool) {
 	for i := len(l.attrs) - 1; i >= 0; i-- {
 		if string(l.attrs[i].local) == name {
@@ -786,6 +808,7 @@ func (l *lexer) attrRaw(name string) (val []byte, nonASCII, ok bool) {
 	return nil, false, false
 }
 
+//wm:hotpath
 func (l *lexer) internAttr(name string) string {
 	v, _, ok := l.attrRaw(name)
 	if !ok {
@@ -796,6 +819,8 @@ func (l *lexer) internAttr(name string) string {
 
 // intern returns a string with b's content, reusing the pooled copy when one
 // exists. The map lookup on string(b) compiles to a no-allocation probe.
+//
+//wm:hotpath
 func (l *lexer) intern(b []byte) string {
 	if len(b) == 0 {
 		return ""
@@ -810,6 +835,7 @@ func (l *lexer) intern(b []byte) string {
 	return s
 }
 
+//wm:hotpath
 func (l *lexer) rectElement() (Element, error) {
 	x, err := l.floatAttr("x")
 	if err != nil {
@@ -835,6 +861,7 @@ func (l *lexer) rectElement() (Element, error) {
 	}, nil
 }
 
+//wm:hotpath
 func (l *lexer) textElement() (Element, error) {
 	x, err := l.floatAttr("x")
 	if err != nil {
@@ -855,6 +882,8 @@ func (l *lexer) textElement() (Element, error) {
 // floatAttr mirrors the reader's floatAttr: absent attributes are zero,
 // values are space-trimmed and may carry a "px" suffix, and malformed values
 // raise ValueError with the original resolved value.
+//
+//wm:hotpath
 func (l *lexer) floatAttr(name string) (float64, error) {
 	v, nonASCII, ok := l.attrRaw(name)
 	if !ok {
@@ -911,6 +940,8 @@ var pow10tab = [...]float64{
 // arithmetic fast path strconv itself uses). Everything else — exponents,
 // hex floats, Inf/NaN, underscores, overlong digit runs — reports !ok so the
 // caller falls back to strconv.
+//
+//wm:hotpath
 func parseFloatFast(b []byte) (float64, bool) {
 	if len(b) == 0 || len(b) > 17 {
 		return 0, false
@@ -958,6 +989,8 @@ func parseFloatFast(b []byte) (float64, bool) {
 
 // pointsAttr parses the polygon points attribute into the document arena,
 // with ParsePoints' exact splitting and error semantics.
+//
+//wm:hotpath
 func (l *lexer) pointsAttr() (geom.Polygon, error) {
 	v, nonASCII, _ := l.attrRaw("points")
 	if nonASCII {
@@ -1024,6 +1057,8 @@ func pointsSep(c byte) bool {
 // arenaAlloc carves n points out of the document arena, growing it in
 // blocks. The returned slice is capacity-clipped so appends by consumers can
 // never clobber a neighbouring polygon.
+//
+//wm:hotpath
 func (l *lexer) arenaAlloc(n int) geom.Polygon {
 	if n == 0 {
 		return geom.Polygon{}

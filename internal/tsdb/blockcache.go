@@ -84,6 +84,11 @@ type BlockCache struct {
 	entries   atomic.Int64
 }
 
+// cacheShard is one independently locked LRU shard. Everything below mu
+// is guarded by it; wmlint's sharded analyzer enforces both the locking
+// and that shards are never copied out of the BlockCache array.
+//
+//wm:sharded
 type cacheShard struct {
 	mu     sync.Mutex
 	lru    list.List // front = most recently used; values are *cacheEntry

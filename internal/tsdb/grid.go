@@ -189,6 +189,8 @@ func (r *Reader) GridScan(ctx context.Context, id wmap.MapID, keys []LinkKey, fr
 // link it carries. Inclusion per link repeats planWithBlocks' rids filter
 // exactly, so each accumulator folds the same (block, bucket) set the
 // per-link path would.
+//
+//wm:hotpath
 func (r *Reader) gridRollupLeg(ctx context.Context, st *readerState, res *gridResult, s int64) error {
 	byRes := make(map[int64][]*gridLink)
 	for li := range res.links {
@@ -276,6 +278,8 @@ func (r *Reader) gridRollupLeg(ctx context.Context, st *readerState, res *gridRe
 // foldRollupWindows folds one link's buckets of a decoded rollup block into
 // its window accumulator — the same arithmetic as linkLoadWindows' bulk
 // loop (fragments of one bucket merge by summing and widening).
+//
+//wm:hotpath
 func foldRollupWindows(ru *decodedRollup, ci int, lw *loadWindows, cut int64) error {
 	abS, baS := ru.sums[2*ci], ru.sums[2*ci+1]
 	abMin, abMax := ru.mins[2*ci], ru.maxs[2*ci]
@@ -316,6 +320,8 @@ func foldRollupWindows(ru *decodedRollup, ci int, lw *loadWindows, cut int64) er
 // whole range for planner-declined links (windows lazily anchored at the
 // link's first in-range sample, exactly Resample's anchor), the tail past
 // cut for planned ones.
+//
+//wm:hotpath
 func (r *Reader) gridRawLeg(ctx context.Context, st *readerState, res *gridResult, blocks []int, topoIdx []map[LinkKey]int, fromU, toU, s int64) error {
 	needed := make(map[int]bool)
 	for li := range res.links {
@@ -386,6 +392,8 @@ func (r *Reader) gridRawLeg(ctx context.Context, st *readerState, res *gridResul
 // accumulateRaw folds trimmed raw points into the link's windows — the same
 // per-point arithmetic as linkLoadWindows' tail loop. A planner-declined
 // link allocates its windows on the first sample, anchoring t0 there.
+//
+//wm:hotpath
 func (gl *gridLink) accumulateRaw(times []int64, abCol, baCol []wmap.Load, s int64) {
 	if len(times) == 0 {
 		return

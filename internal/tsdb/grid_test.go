@@ -252,10 +252,10 @@ func TestGridHTTP(t *testing.T) {
 	}
 
 	getJSON(t, h, "/api/v1/grid?map=europe", http.StatusBadRequest)                  // no step
-	getJSON(t, h, "/api/v1/grid?map=europe&step=fast", http.StatusBadRequest)       // bad step
-	getJSON(t, h, "/api/v1/grid?map=europe&step=-1h", http.StatusBadRequest)        // negative
-	getJSON(t, h, "/api/v1/grid?step=1h", http.StatusBadRequest)                    // no map
-	getJSON(t, h, "/api/v1/grid?map=asia-pacific&step=1h", http.StatusNotFound)     // unknown map
+	getJSON(t, h, "/api/v1/grid?map=europe&step=fast", http.StatusBadRequest)        // bad step
+	getJSON(t, h, "/api/v1/grid?map=europe&step=-1h", http.StatusBadRequest)         // negative
+	getJSON(t, h, "/api/v1/grid?step=1h", http.StatusBadRequest)                     // no map
+	getJSON(t, h, "/api/v1/grid?map=asia-pacific&step=1h", http.StatusNotFound)      // unknown map
 	getJSON(t, h, "/api/v1/grid?map=europe&step=1h&links=nope", http.StatusNotFound) // unknown link
 	// A link id of another map must not resolve onto this one.
 	worldID := LinkKeysOf(sample)[0].ID(wmap.World)

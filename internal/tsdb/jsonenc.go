@@ -1,3 +1,8 @@
+// Every function in this file runs per point of an API response body;
+// the whole file is a hot path for wmlint's allocation rules.
+//
+//wm:hotpath
+
 package tsdb
 
 import (

@@ -27,6 +27,8 @@ const readAheadSlack = 2
 // startReadAhead decodes blocks ids[i] (with column group group(i)) on up
 // to workers goroutines and returns a channel delivering the results in
 // ids order; see runReadAhead for the pipeline contract.
+//
+//wm:hotpath
 func (r *Reader) startReadAhead(ctx context.Context, st *readerState, ids []int, group func(i int) int, workers int) <-chan fetchResult {
 	return runReadAhead(ctx, len(ids), workers, func(i int) (cacheValue, error) {
 		return r.block(st, ids[i], group(i))
@@ -40,6 +42,8 @@ func (r *Reader) startReadAhead(ctx context.Context, st *readerState, ids []int,
 // leaking. When the returned channel closes, the consumer must check
 // ctx.Err() to tell natural completion from cancellation. After an error
 // result the channel closes — later items are not delivered.
+//
+//wm:hotpath
 func runReadAhead(ctx context.Context, n, workers int, fetch func(i int) (cacheValue, error)) <-chan fetchResult {
 	if workers < 1 {
 		workers = 1
@@ -79,6 +83,7 @@ func runReadAhead(ctx context.Context, n, workers int, fetch func(i int) (cacheV
 					return
 				}
 				v, err := fetch(i)
+				//lint:ignore wmlint/ctxflow slots[i] has capacity 1 and receives exactly this one send
 				slots[i] <- fetchResult{v: v, err: err}
 			}
 		}()
@@ -99,6 +104,7 @@ func runReadAhead(ctx context.Context, n, workers int, fetch func(i int) (cacheV
 			case <-ctx.Done():
 				return
 			}
+			//lint:ignore wmlint/ctxflow sem holds a token whenever slot i has delivered, so this never blocks
 			<-sem
 			if res.err != nil {
 				return

@@ -91,6 +91,8 @@ func newRollupBucket(start int64, cols int) *rollupBucket {
 }
 
 // observe folds one load sample into column c.
+//
+//wm:hotpath
 func (b *rollupBucket) observe(c int, v uint8) {
 	b.sums[c] += int64(v)
 	if v < b.mins[c] {
@@ -130,6 +132,8 @@ func (acc *rollupAcc) retire(ti int) {
 // addPoint advances the accumulator to time t under topology ti and
 // returns the bucket the caller folds the point's loads into. The caller
 // must have retired a mismatched-topology run first.
+//
+//wm:hotpath
 func (acc *rollupAcc) addPoint(ti int, t int64, cols int) *rollupBucket {
 	run := acc.run
 	if run == nil {
@@ -291,6 +295,8 @@ func (w *Writer) rollupTopoChanged(id wmap.MapID, ti int) bool {
 }
 
 // rollupAdd folds one appended snapshot into every tier of its map.
+//
+//wm:hotpath
 func (w *Writer) rollupAdd(id wmap.MapID, ti int, t int64, links []wmap.Link) {
 	for _, acc := range w.rollupAccs(id) {
 		b := acc.addPoint(ti, t, 2*len(links))
@@ -526,6 +532,8 @@ const maxRollupCount = int64(1) << 48
 // counts, aligned ascending bucket starts, min ≤ max ≤ 100, and
 // count·min ≤ sum ≤ count·max — are all enforced, so a flipped byte that
 // survives the CRC cannot surface as a silently different series.
+//
+//wm:hotpath
 func decodeRollupAt(r io.ReaderAt, size int64, meta *rollupMeta, want func(ci int) bool) (*decodedRollup, error) {
 	frame, err := readAtFull(r, size, meta.offset, frameOverhead+meta.payloadLen)
 	if err != nil {
